@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Ablation: probe-cost sensitivity (§5.1: "the main delimiter for LLC
+ * is the overhead of probing the last-level cache"). Scales the L2
+ * access cost and watches the FLC/LLC gap close as probing gets cheap.
+ */
+
+#include <cstdio>
+
+#include "common.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using namespace amnesiac;
+    ExperimentConfig config;
+    bench::banner("Ablation: cache probe cost vs FLC/LLC gap", config);
+    Workload w = makePaperBenchmark("is");
+
+    Table table({"L2 access scale", "FLC EDP gain %", "LLC EDP gain %",
+                 "gap"});
+    for (double scale : {0.25, 0.5, 1.0, 2.0}) {
+        ExperimentConfig swept = config;
+        swept.energy.l2AccessNj = config.energy.l2AccessNj * scale;
+        swept.energy.l2Cycles = static_cast<std::uint32_t>(
+            config.energy.l2Cycles * scale + 0.5);
+        ExperimentRunner runner(swept);
+        BenchmarkResult r = runner.run(w, {Policy::FLC, Policy::LLC});
+        double flc = r.byPolicy(Policy::FLC)->edpGainPct;
+        double llc = r.byPolicy(Policy::LLC)->edpGainPct;
+        table.row()
+            .cell(scale, 2)
+            .cell(flc, 2)
+            .cell(llc, 2)
+            .cell(flc - llc, 2);
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Expected: the FLC-LLC gap shrinks as the L2 probe gets\n"
+                "cheaper and widens as it gets dearer (§5.1).\n");
+    return 0;
+}

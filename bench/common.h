@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Shared plumbing for the per-table/figure benchmark harnesses: builds
+ * the 11-benchmark suite, runs the §5 pipeline, and prints the Table 3
+ * configuration echo every harness leads with.
+ */
+
+#ifndef AMNESIAC_BENCH_COMMON_H
+#define AMNESIAC_BENCH_COMMON_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "report/experiment.h"
+#include "report/figures.h"
+#include "workloads/paper_suite.h"
+
+namespace amnesiac::bench {
+
+/** Print the standard harness banner. */
+inline void
+banner(const std::string &title, const ExperimentConfig &config)
+{
+    std::printf("==============================================================\n");
+    std::printf("AMNESIAC reproduction — %s\n", title.c_str());
+    std::printf("==============================================================\n");
+    std::printf("%s\n", renderArchitectureTable(config).c_str());
+}
+
+/** Run every paper benchmark through the given policies. */
+inline std::vector<BenchmarkResult>
+runSuite(const ExperimentConfig &config,
+         const std::vector<Policy> &policies =
+             {kAllPolicies, kAllPolicies + std::size(kAllPolicies)},
+         std::uint64_t seed = 1)
+{
+    ExperimentRunner runner(config);
+    std::vector<BenchmarkResult> results;
+    for (const std::string &name : paperBenchmarkNames()) {
+        std::fprintf(stderr, "  [suite] %s...\n", name.c_str());
+        results.push_back(
+            runner.run(makePaperBenchmark(name, seed), policies));
+    }
+    return results;
+}
+
+}  // namespace amnesiac::bench
+
+#endif  // AMNESIAC_BENCH_COMMON_H

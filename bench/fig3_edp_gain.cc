@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Regenerates the paper's Fig 3: EDP gain under amnesic execution (%).
+ */
+
+#include <cstdio>
+
+#include "common.h"
+
+int
+main()
+{
+    using namespace amnesiac;
+    ExperimentConfig config;
+    bench::banner("Fig 3: EDP gain under amnesic execution (%)", config);
+    auto results = bench::runSuite(config);
+    std::printf("%s\n",
+                renderGainFigure(results, GainMetric::Edp).c_str());
+    std::printf("Paper shape: is/mcf/ca largest; FLC >= LLC; only sr degrades, and\nonly under the Compiler policy; Oracle > C-Oracle for sx and cg.\n");
+    return 0;
+}

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Regenerates the paper's Fig 4: energy gain under amnesic execution (%).
+ */
+
+#include <cstdio>
+
+#include "common.h"
+
+int
+main()
+{
+    using namespace amnesiac;
+    ExperimentConfig config;
+    bench::banner("Fig 4: energy gain under amnesic execution (%)", config);
+    auto results = bench::runSuite(config);
+    std::printf("%s\n",
+                renderGainFigure(results, GainMetric::Energy).c_str());
+    std::printf("Paper shape: tracks Fig 3 with smaller magnitudes.\n");
+    return 0;
+}

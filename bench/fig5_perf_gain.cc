@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Regenerates the paper's Fig 5: reduction in execution time (%).
+ */
+
+#include <cstdio>
+
+#include "common.h"
+
+int
+main()
+{
+    using namespace amnesiac;
+    ExperimentConfig config;
+    bench::banner("Fig 5: reduction in execution time (%)", config);
+    auto results = bench::runSuite(config);
+    std::printf("%s\n",
+                renderGainFigure(results, GainMetric::Time).c_str());
+    std::printf("Paper shape: tracks Fig 3 — loads are both energy-hungry and slow.\n");
+    return 0;
+}

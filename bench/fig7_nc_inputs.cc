@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Regenerates the paper's Fig 7: share of RSlices with
+ * non-recomputable leaf inputs (the slices that need Hist + REC).
+ */
+
+#include <cstdio>
+
+#include "common.h"
+
+int
+main()
+{
+    using namespace amnesiac;
+    ExperimentConfig config;
+    bench::banner("Fig 7: RSlices with non-recomputable leaf inputs",
+                  config);
+    auto results = bench::runSuite(config, {Policy::Compiler});
+    std::printf("%s\n", renderFig7(results).c_str());
+    std::printf(
+        "Paper shape: the w/ nc class dominates everywhere except is\n"
+        "and bfs, whose slices are pure functions of live index state.\n");
+    return 0;
+}

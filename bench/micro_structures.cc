@@ -1,0 +1,163 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the simulator's hot structures:
+ * cache accesses, hierarchy walks, SFile/Hist operations, interpreter
+ * throughput, and dependence-tree signatures. These gate the wall-clock
+ * cost of the experiment harnesses.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/uarch.h"
+#include "isa/program_builder.h"
+#include "mem/hierarchy.h"
+#include "profile/profiler.h"
+#include "sim/machine.h"
+#include "util/rng.h"
+
+namespace amnesiac {
+namespace {
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache(CacheConfig{32 * 1024, 8, 64});
+    Xorshift64Star rng(1);
+    bool dirty;
+    std::uint64_t victim;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(rng.next() & 0xFFFFF8, false, dirty, victim));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_HierarchyRead(benchmark::State &state)
+{
+    MemoryHierarchy hierarchy;
+    Xorshift64Star rng(2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(hierarchy.read(rng.next() & 0xFFFFF8));
+}
+BENCHMARK(BM_HierarchyRead);
+
+void
+BM_HierarchyPeek(benchmark::State &state)
+{
+    MemoryHierarchy hierarchy;
+    Xorshift64Star rng(3);
+    for (std::uint64_t i = 0; i < 10000; ++i)
+        hierarchy.read(rng.next() & 0xFFFFF8);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(hierarchy.peekLevel(rng.next() & 0xFFFFF8));
+}
+BENCHMARK(BM_HierarchyPeek);
+
+void
+BM_SFileAllocCycle(benchmark::State &state)
+{
+    SFile sfile(192);
+    for (auto _ : state) {
+        sfile.beginSlice();
+        for (int i = 0; i < 16; ++i)
+            benchmark::DoNotOptimize(sfile.alloc(i));
+    }
+}
+BENCHMARK(BM_SFileAllocCycle);
+
+void
+BM_HistRecordLookup(benchmark::State &state)
+{
+    Hist hist(600);
+    Xorshift64Star rng(4);
+    for (auto _ : state) {
+        std::uint32_t leaf = static_cast<std::uint32_t>(rng.nextBelow(600));
+        hist.record(leaf, 1, 2);
+        benchmark::DoNotOptimize(hist.lookup(leaf));
+    }
+}
+BENCHMARK(BM_HistRecordLookup);
+
+Program
+interpreterKernel()
+{
+    ProgramBuilder b("kernel");
+    std::uint64_t a = b.allocWords(1024);
+    b.li(1, a);
+    b.li(2, 0);
+    b.li(3, 1);
+    b.li(4, 1000);
+    b.li(9, 1023 * 8);
+    auto top = b.newLabel();
+    b.bind(top);
+    b.alu(Opcode::Add, 5, 2, 2);
+    b.alu(Opcode::Xor, 5, 5, 3);
+    b.alu(Opcode::And, 6, 5, 9);
+    b.alu(Opcode::Add, 6, 6, 1);
+    b.st(6, 0, 5);
+    b.ld(7, 6);
+    b.alu(Opcode::Add, 2, 2, 3);
+    b.blt(2, 4, top);
+    b.halt();
+    return b.finish();
+}
+
+void
+BM_InterpreterThroughput(benchmark::State &state)
+{
+    Program p = interpreterKernel();
+    EnergyModel energy;
+    std::uint64_t instrs = 0;
+    for (auto _ : state) {
+        Machine m(p, energy);
+        m.run();
+        instrs += m.stats().dynInstrs;
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        static_cast<double>(instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterThroughput);
+
+void
+BM_ProfiledThroughput(benchmark::State &state)
+{
+    Program p = interpreterKernel();
+    EnergyModel energy;
+    std::uint64_t instrs = 0;
+    for (auto _ : state) {
+        Machine m(p, energy);
+        Profiler profiler;
+        m.setObserver(&profiler);
+        m.run();
+        instrs += m.stats().dynInstrs;
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        static_cast<double>(instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ProfiledThroughput);
+
+void
+BM_TreeSignature(benchmark::State &state)
+{
+    DepTracker tracker;
+    Instruction li;
+    li.op = Opcode::Li;
+    li.rd = 1;
+    tracker.onAlu(0, li, 1);
+    Instruction chain;
+    chain.op = Opcode::Add;
+    chain.rd = 1;
+    chain.rs1 = 1;
+    chain.rs2 = 1;
+    for (std::uint32_t pc = 1; pc <= 64; ++pc)
+        tracker.onAlu(pc, chain, pc);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(treeSignature(tracker.regProducer(1)));
+}
+BENCHMARK(BM_TreeSignature);
+
+}  // namespace
+}  // namespace amnesiac
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Regenerates the paper's Table 6: the break-even point (§5.5) — by
+ * what factor the relative energy cost of non-memory instructions (R)
+ * must grow before amnesic execution stops paying off.
+ *
+ * The paper's exact procedure is underspecified; we compile and fix the
+ * binary (and the scheduler's decision model) at R_default, then sweep
+ * the *charged* non-memory scale until the C-Oracle EDP gain vanishes
+ * (see EXPERIMENTS.md for the discussion).
+ */
+
+#include <cstdio>
+
+#include "common.h"
+#include "util/table.h"
+
+int
+main()
+{
+    using namespace amnesiac;
+    ExperimentConfig config;
+    bench::banner("Table 6: break-even R (normalized to R_default)",
+                  config);
+    std::printf("R_default = EPI(int-alu) / EPI(DRAM load) = %.4f\n\n",
+                ExperimentRunner(config).energyModel().ratioR());
+    Table table({"Bench.", "Rbreakeven (normalized)"});
+    for (const std::string &name : paperBenchmarkNames()) {
+        std::fprintf(stderr, "  [table6] %s...\n", name.c_str());
+        Workload w = makePaperBenchmark(name);
+        double k = breakEvenScale(w, config, Policy::COracle, 256.0);
+        table.row().cell(name);
+        if (k >= 256.0)
+            table.cell(std::string(">256"));
+        else
+            table.cell(k, 2);
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "Paper shape: every benchmark tolerates a large (multi-x) growth\n"
+        "of R before recomputation breaks even — current technology\n"
+        "trends point the other way (§5.5, Table 6: 3.89x for bfs up to\n"
+        "83.25x for bp).\n");
+    return 0;
+}

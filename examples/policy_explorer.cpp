@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Policy explorer: run any registered workload through all five §3.3.1
+ * runtime policies and inspect the decision statistics that explain the
+ * gains — how often each policy fired, where the swapped data lived,
+ * and what the probes cost.
+ *
+ * Usage: example_policy_explorer [workload-name]   (default: "is")
+ */
+
+#include <cstdio>
+
+#include "report/experiment.h"
+#include "util/table.h"
+#include "workloads/registry.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace amnesiac;
+    std::string name = argc > 1 ? argv[1] : "is";
+    if (!isRegisteredWorkload(name)) {
+        std::printf("unknown workload '%s'; registered:\n", name.c_str());
+        for (const std::string &candidate : registeredWorkloads())
+            std::printf("  %s\n", candidate.c_str());
+        return 1;
+    }
+
+    Workload workload = makeWorkload(name);
+    std::printf("workload: %s — %s\n\n", workload.name.c_str(),
+                workload.description.c_str());
+
+    ExperimentRunner runner;
+    BenchmarkResult result = runner.run(workload);
+    std::printf("classic: %llu instructions, %.1f uJ\n\n",
+                static_cast<unsigned long long>(result.classic.dynInstrs),
+                result.classic.energyNj() * 1e-3);
+    std::printf("compiler: %zu slices selected "
+                "(%llu/%llu dynamic loads covered)\n\n",
+                result.compiled.slices.size(),
+                static_cast<unsigned long long>(
+                    result.compiled.stats.coveredDynLoads),
+                static_cast<unsigned long long>(
+                    result.compiled.stats.totalDynLoads));
+
+    Table table({"policy", "EDP gain %", "energy gain %", "time gain %",
+                 "fired", "fell back", "mismatches"});
+    for (const PolicyOutcome &outcome : result.policies) {
+        table.row()
+            .cell(std::string(policyName(outcome.policy)))
+            .cell(outcome.edpGainPct, 2)
+            .cell(outcome.energyGainPct, 2)
+            .cell(outcome.perfGainPct, 2)
+            .cell(static_cast<long long>(outcome.stats.recomputations))
+            .cell(static_cast<long long>(outcome.stats.fallbackLoads))
+            .cell(static_cast<long long>(
+                outcome.stats.recomputeMismatches));
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    const PolicyOutcome *flc = result.byPolicy(Policy::FLC);
+    if (flc && flc->stats.recomputations > 0) {
+        auto residence = flc->swappedResidencePct();
+        std::printf("FLC swapped-load residence: L1 %.1f%% / L2 %.1f%% / "
+                    "Memory %.1f%%\n",
+                    residence[0], residence[1], residence[2]);
+    }
+    std::printf("\nReading the table: Compiler always fires (it trusts "
+                "the §3.1.1 energy model);\nFLC/LLC gate on cache probes "
+                "and pay for them; the oracles predict residence\nfor "
+                "free and bound what any real policy could earn (§5.1).\n");
+    return 0;
+}

@@ -1,0 +1,251 @@
+#include "core/amnesic_machine.h"
+
+#include "util/logging.h"
+
+namespace amnesiac {
+
+AmnesicMachine::AmnesicMachine(const Program &program,
+                               const EnergyModel &energy,
+                               const AmnesicConfig &config,
+                               const HierarchyConfig &hierarchy_config)
+    : Machine(program, energy, hierarchy_config), _config(config),
+      _sfile(config.sfileCapacity), _hist(config.histCapacity),
+      _ibuff(config.ibuffCapacity),
+      _predictor(config.predictorLogEntries)
+{
+    // Precompute per-slice runtime recomputation energy for the oracle
+    // decision rule (§5.1: "decisions are based on actual energy costs").
+    // The decision model may be pinned to a different non-memory scale
+    // than the charged model (Table 6 sweeps).
+    EnergyModel decision = config.decisionNonMemScale > 0.0
+        ? energy.withNonMemScale(config.decisionNonMemScale)
+        : energy;
+    _sliceEnergy.resize(program.slices.size(), 0.0);
+    for (const RSliceMeta &meta : program.slices) {
+        double erc = 0.0;
+        for (std::uint32_t pc = meta.entry; pc < meta.entry + meta.length;
+             ++pc) {
+            const Instruction &instr = program.code[pc];
+            erc += decision.instrEnergy(categoryOf(instr.op));
+            bool hist_operand =
+                (numSources(instr.op) >= 1 &&
+                 instr.src1 == OperandSource::Hist) ||
+                (numSources(instr.op) >= 2 &&
+                 instr.src2 == OperandSource::Hist);
+            if (hist_operand)
+                erc += decision.histAccessEnergy();
+        }
+        erc += decision.instrEnergy(InstrCategory::Rtn);
+        AMNESIAC_ASSERT(meta.id < _sliceEnergy.size(),
+                        "slice ids must be dense");
+        _sliceEnergy[meta.id] = erc;
+    }
+}
+
+void
+AmnesicMachine::execAmnesic(const Instruction &instr)
+{
+    switch (instr.op) {
+      case Opcode::Rec:
+        execRec(instr);
+        break;
+      case Opcode::Rcmp:
+        execRcmp(instr);
+        break;
+      case Opcode::Rtn:
+        // Slices are traversed synchronously inside execRcmp; control
+        // flow can never fall onto an RTN.
+        AMNESIAC_PANIC("RTN reached outside slice traversal");
+      default:
+        AMNESIAC_PANIC("execAmnesic: unexpected opcode");
+    }
+}
+
+void
+AmnesicMachine::execRec(const Instruction &instr)
+{
+    // REC is modeled after a store to L1-D (§4); it charges the store
+    // bucket so Table 4's breakdown reflects the checkpoint traffic.
+    chargeEnergy(energyModel().instrEnergy(InstrCategory::Rec),
+                 &EnergyBreakdown::storeNj);
+    chargeCycles(energyModel().instrLatency(InstrCategory::Rec));
+
+    if (_hist.record(instr.leafAddr, readReg(instr.rs1),
+                     readReg(instr.rs2))) {
+        ++mutableStats().histWrites;
+    } else {
+        // §3.5: a failed REC poisons its slice; the matching RCMP must
+        // skip recomputation from now on.
+        ++mutableStats().histOverflows;
+        _failedSlices.insert(instr.sliceId);
+    }
+    setPc(pc() + 1);
+}
+
+void
+AmnesicMachine::execRcmp(const Instruction &instr)
+{
+    std::uint32_t rcmp_pc = pc();
+    std::uint64_t addr = effectiveAddr(instr);
+    ++mutableStats().rcmpSeen;
+
+    // The fused branch itself (§4: modeled after a conditional branch).
+    chargeNonMem(InstrCategory::Rcmp);
+
+    MemLevel residence = hierarchy().peekLevel(addr);
+    bool recompute = !_failedSlices.count(instr.sliceId) &&
+                     shouldRecompute(instr, addr, residence);
+
+    if (recompute) {
+        _ibuff.fill(program().slices[instr.sliceId].length);
+        if (traverseSlice(instr, addr)) {
+            ++mutableStats().recomputations;
+            ++mutableStats().swappedByLevel[
+                static_cast<std::size_t>(residence)];
+            setPc(rcmp_pc + 1);
+            return;
+        }
+        recompute = false;  // aborted; fall back to the load
+    }
+
+    performLoad(rcmp_pc, instr);
+    ++mutableStats().fallbackLoads;
+    ++mutableStats().fallbackByLevel[static_cast<std::size_t>(residence)];
+    setPc(rcmp_pc + 1);
+}
+
+bool
+AmnesicMachine::shouldRecompute(const Instruction &instr,
+                                std::uint64_t addr, MemLevel residence)
+{
+    const EnergyModel &energy = energyModel();
+    switch (_config.policy) {
+      case Policy::Compiler:
+        // Runtime-oblivious: every RCMP fires (§3.3.1).
+        return true;
+      case Policy::FLC:
+        if (hierarchy().probe(MemLevel::L1, addr))
+            return false;  // the probe becomes the load's own L1 lookup
+        // Miss: the probe energy is sunk on top of recomputation.
+        chargeEnergy(energy.probeEnergy(MemLevel::L1),
+                     &EnergyBreakdown::loadNj);
+        chargeCycles(energy.probeLatency(MemLevel::L1));
+        return true;
+      case Policy::LLC:
+        if (hierarchy().probe(MemLevel::L1, addr) ||
+            hierarchy().probe(MemLevel::L2, addr))
+            return false;
+        chargeEnergy(energy.probeEnergy(MemLevel::L2),
+                     &EnergyBreakdown::loadNj);
+        chargeCycles(energy.probeLatency(MemLevel::L2));
+        return true;
+      case Policy::COracle:
+      case Policy::Oracle:
+        // 100%-accurate, free residence prediction (§5.1): recompute
+        // iff it is exactly cheaper than the load would be.
+        return energy.loadEnergy(residence) > _sliceEnergy[instr.sliceId];
+      case Policy::Predictor: {
+        // §3.3.1 future work: decide like FLC but from a per-site miss
+        // predictor instead of a probe — no probe energy or latency.
+        // Training feedback is the observed residence (idealized for
+        // recomputed instances; fallback loads observe it naturally).
+        bool predicted_miss = _predictor.predictMiss(pc());
+        bool actual_miss = residence != MemLevel::L1;
+        _predictor.account(predicted_miss, actual_miss);
+        _predictor.train(pc(), actual_miss);
+        return predicted_miss;
+      }
+    }
+    AMNESIAC_PANIC("shouldRecompute: bad policy");
+}
+
+bool
+AmnesicMachine::traverseSlice(const Instruction &rcmp, std::uint64_t addr)
+{
+    const RSliceMeta &meta = program().slices[rcmp.sliceId];
+    _sfile.beginSlice();
+    _renamer.beginSlice();
+
+    std::uint64_t root_value = 0;
+    for (std::uint32_t spc = meta.entry; spc < meta.entry + meta.length;
+         ++spc) {
+        const Instruction &si = program().code[spc];
+        std::uint64_t in[2] = {0, 0};
+        bool hist_read_done = false;
+        int sources = numSources(si.op);
+        for (int k = 0; k < sources; ++k) {
+            OperandSource src = k == 0 ? si.src1 : si.src2;
+            Reg reg = k == 0 ? si.rs1 : si.rs2;
+            switch (src) {
+              case OperandSource::Slice: {
+                auto idx = _renamer.lookup(reg);
+                AMNESIAC_ASSERT(idx.has_value(),
+                                "slice operand not renamed — malformed "
+                                "slice region");
+                in[k] = _sfile.read(*idx);
+                break;
+              }
+              case OperandSource::Live:
+                in[k] = readReg(reg);
+                break;
+              case OperandSource::Hist: {
+                const Hist::Entry *entry = _hist.lookup(spc);
+                if (!entry) {
+                    // The leaf's producer has not run yet: Condition-II
+                    // unmet, perform the load instead.
+                    ++mutableStats().histMissFallbacks;
+                    return false;
+                }
+                if (!hist_read_done) {
+                    chargeEnergy(energyModel().histAccessEnergy(),
+                                 &EnergyBreakdown::histReadNj);
+                    ++mutableStats().histReads;
+                    hist_read_done = true;
+                }
+                in[k] = entry->values[static_cast<std::size_t>(k)];
+                break;
+              }
+            }
+        }
+        std::uint64_t value = evalAlu(si.op, in[0], in[1], si.imm);
+        auto slot = _sfile.alloc(value);
+        if (!slot) {
+            // §3.4 capacity overflow: poison the slice so later RCMPs
+            // skip straight to the load.
+            ++mutableStats().sfileAborts;
+            _failedSlices.insert(rcmp.sliceId);
+            return false;
+        }
+        _renamer.bind(si.rd, *slot);
+        root_value = value;
+
+        chargeNonMem(categoryOf(si.op));
+        ++mutableStats().dynInstrs;
+        ++mutableStats().perCategory[static_cast<std::size_t>(
+            categoryOf(si.op))];
+        ++mutableStats().recomputedInstrs;
+    }
+
+    // The closing RTN (§4: modeled after a jump).
+    chargeNonMem(InstrCategory::Rtn);
+    ++mutableStats().dynInstrs;
+    ++mutableStats().perCategory[static_cast<std::size_t>(
+        InstrCategory::Rtn)];
+
+    // "Before return, the recomputed data value v gets copied into the
+    // destination register of the eliminated load" (§3.3.2).
+    writeReg(rcmp.rd, root_value);
+
+    if (_config.shadowCheck) {
+        ++mutableStats().recomputeChecked;
+        if (root_value != memRead(addr)) {
+            ++mutableStats().recomputeMismatches;
+            if (_config.strictMismatch)
+                AMNESIAC_PANIC("recomputed value mismatch at pc " +
+                               std::to_string(pc()));
+        }
+    }
+    return true;
+}
+
+}  // namespace amnesiac

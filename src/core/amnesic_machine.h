@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The amnesic machine: a classic machine extended with the §3.2
+ * microarchitecture (SFile/Renamer/Hist/IBuff) and the §3.3 scheduler
+ * that resolves each RCMP into either a fallback load or a traversal of
+ * the embedded recomputation slice.
+ */
+
+#ifndef AMNESIAC_CORE_AMNESIC_MACHINE_H
+#define AMNESIAC_CORE_AMNESIC_MACHINE_H
+
+#include <unordered_set>
+#include <vector>
+
+#include "core/policy.h"
+#include "core/uarch.h"
+#include "sim/machine.h"
+
+namespace amnesiac {
+
+/** Configuration of the amnesic microarchitecture and scheduler. */
+struct AmnesicConfig
+{
+    Policy policy = Policy::FLC;
+    /** §3.4 sizing; defaults follow the paper's findings ("less than 50
+     * entries for SFile or IBuff cover most", "600 Hist entries"). */
+    std::uint32_t sfileCapacity = 192;
+    std::uint32_t histCapacity = 600;
+    std::uint32_t ibuffCapacity = 64;
+    /** Miss-predictor table size (Policy::Predictor only). */
+    std::uint32_t predictorLogEntries = 10;
+    /**
+     * Verify every recomputed value against functional memory and count
+     * mismatches (a diagnostic the paper lacks; see DESIGN.md §5).
+     */
+    bool shadowCheck = true;
+    /** Panic on a shadow-check mismatch (tests). */
+    bool strictMismatch = false;
+    /**
+     * Non-memory EPI scale the *oracle decision rule* assumes. Negative
+     * (default) means "same as the charged model". The Table 6
+     * break-even bench pins this to 1.0 while sweeping the charged
+     * scale, so the binary's behaviour is fixed while its energy bill
+     * changes (§5.5).
+     */
+    double decisionNonMemScale = -1.0;
+};
+
+/**
+ * Executes amnesic binaries. RCMP/REC/RTN semantics follow §3.3.2:
+ * REC checkpoints into Hist (failed RECs poison their slice, §3.5);
+ * RCMP consults the policy and either performs the load (with normal
+ * cache fills) or traverses the slice through the renamer and SFile
+ * (with *no* cache fill — the temporal-locality cost of recomputation
+ * is modeled); RTN copies the root value into the eliminated load's
+ * destination register.
+ */
+class AmnesicMachine : public Machine
+{
+  public:
+    AmnesicMachine(const Program &program, const EnergyModel &energy,
+                   const AmnesicConfig &config = {},
+                   const HierarchyConfig &hierarchy_config = {});
+
+    const SFile &sfile() const { return _sfile; }
+    const Hist &hist() const { return _hist; }
+    const IBuff &ibuff() const { return _ibuff; }
+    const MissPredictor &predictor() const { return _predictor; }
+    const AmnesicConfig &config() const { return _config; }
+
+    /** Slices currently poisoned by failed RECs or SFile overflow. */
+    std::size_t failedSliceCount() const { return _failedSlices.size(); }
+
+  protected:
+    void execAmnesic(const Instruction &instr) override;
+
+  private:
+    void execRec(const Instruction &instr);
+    void execRcmp(const Instruction &instr);
+    /** Decide per §3.3.1. Probes are charged here. */
+    bool shouldRecompute(const Instruction &instr, std::uint64_t addr,
+                         MemLevel residence);
+    /** Traverse the slice; returns false on SFile overflow (fallback). */
+    bool traverseSlice(const Instruction &rcmp, std::uint64_t addr);
+    /** Charged-energy sum of a slice's recomputing instructions. */
+    double runtimeSliceEnergy(std::uint32_t slice_id) const;
+
+    AmnesicConfig _config;
+    SFile _sfile;
+    Renamer _renamer;
+    Hist _hist;
+    IBuff _ibuff;
+    MissPredictor _predictor;
+    std::unordered_set<std::uint32_t> _failedSlices;
+    /** Precomputed per-slice runtime recompute energy (oracle rule). */
+    std::vector<double> _sliceEnergy;
+};
+
+}  // namespace amnesiac
+
+#endif  // AMNESIAC_CORE_AMNESIC_MACHINE_H

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The amnesic compiler (§3.1): profiles the program, extracts and
+ * validates recomputation slices, and rewrites the binary — swapping
+ * each selected load for an RCMP, inserting RECs before the originals
+ * of history-fed leaves, and appending the slice region.
+ */
+
+#ifndef AMNESIAC_CORE_COMPILER_H
+#define AMNESIAC_CORE_COMPILER_H
+
+#include <vector>
+
+#include "core/slice_builder.h"
+#include "energy/epi.h"
+#include "isa/program.h"
+#include "mem/hierarchy.h"
+
+namespace amnesiac {
+
+/** Compiler pass configuration. */
+struct CompilerConfig
+{
+    SliceBuilderConfig builder;
+    /** Minimum share of a site's dynamic instances that must exhibit
+     * the dominant backward-slice shape (§3.1.1 is profile-driven). */
+    double stabilityThreshold = 0.90;
+    /**
+     * Minimum dry-run functional match rate. 1.0 (default) admits only
+     * slices that reproduced the loaded value at every profiled
+     * instance — the soundness guard described in DESIGN.md §5.
+     */
+    double matchThreshold = 1.0;
+    /** Ignore sites colder than this many dynamic instances. */
+    std::uint64_t minSiteCount = 8;
+    /** Select iff ErcEstimate < profitabilityMargin × EldEstimate. */
+    double profitabilityMargin = 1.0;
+    /**
+     * Estimate Eld from the global per-level hit statistics of the
+     * profiling run, as the paper does (§3.1.1). This is the model whose
+     * inaccuracy the evaluation measures via C-Oracle vs Compiler; set
+     * false for the exact per-site model (an ablation of ours).
+     */
+    bool globalResidenceModel = true;
+    /**
+     * Build the Oracle slice set (§5.1): grow every feasible slice
+     * against the maximum (memory-resident) budget and skip the
+     * probabilistic profitability filter; the runtime oracle decides
+     * per dynamic instance.
+     */
+    bool oracleSet = false;
+    /** Runaway guard for the profiling simulations. */
+    std::uint64_t runLimit = 1ull << 32;
+};
+
+/** Why candidates were kept or dropped (reported by benches/tests). */
+struct CompileStats
+{
+    std::uint64_t sitesSeen = 0;
+    std::uint64_t rejectedCold = 0;
+    std::uint64_t rejectedUnstable = 0;
+    std::uint64_t rejectedNoSlice = 0;
+    std::uint64_t rejectedEnergy = 0;
+    std::uint64_t rejectedMatch = 0;
+    std::uint64_t selected = 0;
+    std::uint64_t recInsertions = 0;
+    /** Dynamic loads covered by the selected sites (profiling run). */
+    std::uint64_t coveredDynLoads = 0;
+    std::uint64_t totalDynLoads = 0;
+};
+
+/** Output of the compiler pass. */
+struct CompileResult
+{
+    /** The rewritten (amnesic) binary. */
+    Program program;
+    /** The selected slices; index == slice id in the binary. */
+    std::vector<RSlice> slices;
+    CompileStats stats;
+};
+
+/**
+ * Profile-guided amnesic compilation: two classic profiling runs
+ * (dependence/residence profiling, then dry-run validation) followed by
+ * the rewrite. The input binary must be slice-free.
+ */
+class AmnesicCompiler
+{
+  public:
+    AmnesicCompiler(const EnergyModel &energy,
+                    const HierarchyConfig &hierarchy = {},
+                    const CompilerConfig &config = {});
+
+    /** Run the full pass. */
+    CompileResult compile(const Program &input) const;
+
+    /**
+     * Rewrite only (exposed for tests): swap the given loads and embed
+     * the given slices; ids are assigned by position.
+     */
+    static Program rewrite(const Program &input,
+                           const std::vector<RSlice> &slices,
+                           CompileStats *stats = nullptr);
+
+  private:
+    EnergyModel _energy;
+    HierarchyConfig _hierarchy;
+    CompilerConfig _config;
+};
+
+}  // namespace amnesiac
+
+#endif  // AMNESIAC_CORE_COMPILER_H

@@ -1,0 +1,62 @@
+#include "core/cost_model.h"
+
+namespace amnesiac {
+
+double
+CostModel::probabilisticLoadEnergy(const SiteProfile &site) const
+{
+    double eld = 0.0;
+    for (std::size_t i = 0; i < kNumMemLevels; ++i) {
+        MemLevel level = static_cast<MemLevel>(i);
+        eld += site.prLevel(level) * _energy->loadEnergy(level);
+    }
+    return eld;
+}
+
+double
+CostModel::loadEnergyFromDistribution(
+    const std::array<double, kNumMemLevels> &pr) const
+{
+    double eld = 0.0;
+    for (std::size_t i = 0; i < kNumMemLevels; ++i)
+        eld += pr[i] * _energy->loadEnergy(static_cast<MemLevel>(i));
+    return eld;
+}
+
+double
+CostModel::runtimeRecomputeEnergy(const RSlice &slice) const
+{
+    double erc = 0.0;
+    for (const SliceInstr &instr : slice.instrs) {
+        erc += _energy->instrEnergy(categoryOf(instr.op));
+        if (instr.hasHistOperand())
+            erc += _energy->histAccessEnergy();
+    }
+    erc += _energy->instrEnergy(InstrCategory::Rtn);
+    return erc;
+}
+
+double
+CostModel::estimatedRecomputeEnergy(const RSlice &slice,
+                                    double rec_per_load) const
+{
+    double erc = runtimeRecomputeEnergy(slice);
+    erc += _energy->instrEnergy(InstrCategory::Rcmp);
+    // One REC per hist-operand-bearing instruction, executed every time
+    // its original producer runs — amortized per swapped load.
+    erc += static_cast<double>(slice.histLeafCount) *
+           _energy->instrEnergy(InstrCategory::Rec) * rec_per_load;
+    return erc;
+}
+
+std::uint64_t
+CostModel::runtimeRecomputeLatency(const RSlice &slice) const
+{
+    std::uint64_t cycles = 0;
+    for (const SliceInstr &instr : slice.instrs)
+        cycles += _energy->instrLatency(categoryOf(instr.op));
+    cycles += _energy->instrLatency(InstrCategory::Rtn);
+    return cycles;
+}
+
+}  // namespace amnesiac

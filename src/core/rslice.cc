@@ -1,0 +1,57 @@
+#include "core/rslice.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace amnesiac {
+
+bool
+SliceInstr::hasHistOperand() const
+{
+    for (int k = 0; k < numOps; ++k)
+        if (ops[k].source == OperandSource::Hist)
+            return true;
+    return false;
+}
+
+bool
+SliceInstr::isLeaf() const
+{
+    for (int k = 0; k < numOps; ++k)
+        if (ops[k].source == OperandSource::Slice)
+            return false;
+    return true;
+}
+
+void
+RSlice::computeStats()
+{
+    AMNESIAC_ASSERT(!instrs.empty(), "empty slice");
+    height = 0;
+    leafCount = 0;
+    histLeafCount = 0;
+    histOperandCount = 0;
+    for (const SliceInstr &instr : instrs) {
+        height = std::max(height, static_cast<std::uint32_t>(instr.level));
+        if (instr.isLeaf())
+            ++leafCount;
+        if (instr.hasHistOperand())
+            ++histLeafCount;
+        for (int k = 0; k < instr.numOps; ++k)
+            if (instr.ops[k].source == OperandSource::Hist)
+                ++histOperandCount;
+    }
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+RSlice::capturePoints() const
+{
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> points;
+    for (std::uint32_t i = 0; i < instrs.size(); ++i)
+        if (instrs[i].hasHistOperand())
+            points.emplace_back(instrs[i].origPc, i);
+    return points;
+}
+
+}  // namespace amnesiac

@@ -1,0 +1,163 @@
+#include "core/uarch.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace amnesiac {
+
+SFile::SFile(std::uint32_t capacity) : _capacity(capacity)
+{
+    AMNESIAC_ASSERT(capacity > 0, "SFile needs capacity");
+    _values.reserve(capacity);
+}
+
+void
+SFile::beginSlice()
+{
+    _values.clear();
+}
+
+std::optional<std::uint32_t>
+SFile::alloc(std::uint64_t value)
+{
+    if (_values.size() >= _capacity) {
+        ++_overflows;
+        return std::nullopt;
+    }
+    _values.push_back(value);
+    _highWater = std::max(_highWater,
+                          static_cast<std::uint32_t>(_values.size()));
+    return static_cast<std::uint32_t>(_values.size() - 1);
+}
+
+std::uint64_t
+SFile::read(std::uint32_t index) const
+{
+    AMNESIAC_ASSERT(index < _values.size(), "SFile read of unallocated entry");
+    return _values[index];
+}
+
+void
+Renamer::beginSlice()
+{
+    _map.fill(-1);
+}
+
+void
+Renamer::bind(Reg r, std::uint32_t sfile_index)
+{
+    AMNESIAC_ASSERT(r < kNumRegs, "renamer: bad register");
+    _map[r] = static_cast<std::int32_t>(sfile_index);
+}
+
+std::optional<std::uint32_t>
+Renamer::lookup(Reg r) const
+{
+    AMNESIAC_ASSERT(r < kNumRegs, "renamer: bad register");
+    if (_map[r] < 0)
+        return std::nullopt;
+    return static_cast<std::uint32_t>(_map[r]);
+}
+
+Hist::Hist(std::uint32_t capacity) : _capacity(capacity)
+{
+    AMNESIAC_ASSERT(capacity > 0, "Hist needs capacity");
+}
+
+bool
+Hist::record(std::uint32_t leaf_addr, std::uint64_t v0, std::uint64_t v1)
+{
+    auto it = _entries.find(leaf_addr);
+    if (it == _entries.end()) {
+        if (_entries.size() >= _capacity) {
+            ++_overflows;
+            return false;
+        }
+        it = _entries.emplace(leaf_addr, Entry{}).first;
+        _highWater = std::max(_highWater,
+                              static_cast<std::uint32_t>(_entries.size()));
+    }
+    it->second.values = {v0, v1};
+    ++_writes;
+    return true;
+}
+
+const Hist::Entry *
+Hist::lookup(std::uint32_t leaf_addr) const
+{
+    auto it = _entries.find(leaf_addr);
+    if (it == _entries.end())
+        return nullptr;
+    ++_reads;
+    return &it->second;
+}
+
+MissPredictor::MissPredictor(std::uint32_t log2_entries)
+{
+    AMNESIAC_ASSERT(log2_entries >= 1 && log2_entries <= 20,
+                    "predictor size out of range");
+    // Weakly biased toward "miss": a cold predictor behaves like the
+    // Compiler policy until trained.
+    _counters.assign(1ull << log2_entries, 2);
+}
+
+std::size_t
+MissPredictor::indexOf(std::uint32_t pc) const
+{
+    // Fibonacci hash of the site address.
+    std::uint64_t h = pc * 0x9E3779B97F4A7C15ull;
+    return static_cast<std::size_t>(h >> (64 - 20)) &
+           (_counters.size() - 1);
+}
+
+bool
+MissPredictor::predictMiss(std::uint32_t pc) const
+{
+    return _counters[indexOf(pc)] >= 2;
+}
+
+void
+MissPredictor::train(std::uint32_t pc, bool missed)
+{
+    std::uint8_t &counter = _counters[indexOf(pc)];
+    if (missed) {
+        if (counter < 3)
+            ++counter;
+    } else if (counter > 0) {
+        --counter;
+    }
+}
+
+void
+MissPredictor::account(bool predicted_miss, bool actually_missed)
+{
+    ++_predictions;
+    if (predicted_miss != actually_missed)
+        ++_mispredictions;
+}
+
+double
+MissPredictor::mispredictionRate() const
+{
+    return _predictions == 0
+        ? 0.0
+        : static_cast<double>(_mispredictions) /
+              static_cast<double>(_predictions);
+}
+
+IBuff::IBuff(std::uint32_t capacity) : _capacity(capacity) {}
+
+bool
+IBuff::fill(std::uint32_t slice_len)
+{
+    ++_fills;
+    _highWater = std::max(_highWater, std::min(slice_len, _capacity));
+    if (slice_len > _capacity) {
+        ++_tooLarge;
+        return false;
+    }
+    return true;
+}
+
+}  // namespace amnesiac

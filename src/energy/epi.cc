@@ -1,0 +1,173 @@
+#include "energy/epi.h"
+
+#include "util/logging.h"
+
+namespace amnesiac {
+
+EnergyModel::EnergyModel(const EnergyConfig &config) : _config(config)
+{
+    AMNESIAC_ASSERT(config.nonMemScale > 0.0, "nonMemScale must be > 0");
+    AMNESIAC_ASSERT(config.frequencyGhz > 0.0, "frequency must be > 0");
+}
+
+double
+EnergyModel::instrEnergy(InstrCategory cat) const
+{
+    double scale = _config.nonMemScale;
+    switch (cat) {
+      case InstrCategory::Nop:    return _config.nopNj * scale;
+      case InstrCategory::IntAlu: return _config.intAluNj * scale;
+      case InstrCategory::IntMul: return _config.intMulNj * scale;
+      case InstrCategory::IntDiv: return _config.intDivNj * scale;
+      case InstrCategory::FpAlu:  return _config.fpAluNj * scale;
+      case InstrCategory::FpMul:  return _config.fpMulNj * scale;
+      case InstrCategory::FpDiv:  return _config.fpDivNj * scale;
+      case InstrCategory::Branch: return _config.branchNj * scale;
+      case InstrCategory::Jump:   return _config.jumpNj * scale;
+      // RCMP ~ conditional branch; RTN ~ jump (§4). REC ~ store to
+      // L1-D: a memory-side cost, so the R knob does not scale it.
+      case InstrCategory::Rcmp:   return _config.branchNj * scale;
+      case InstrCategory::Rtn:    return _config.jumpNj * scale;
+      // REC has the same core+write shape as a store to L1-D.
+      case InstrCategory::Rec:
+        return _config.memCoreNj + _config.histAccessNj;
+      case InstrCategory::Load:
+      case InstrCategory::Store:
+        AMNESIAC_PANIC("memory instruction energy needs a service level");
+      default:
+        AMNESIAC_PANIC("instrEnergy: bad category");
+    }
+}
+
+std::uint32_t
+EnergyModel::instrLatency(InstrCategory cat) const
+{
+    switch (cat) {
+      case InstrCategory::IntDiv:
+      case InstrCategory::FpDiv:
+        return 8;
+      case InstrCategory::IntMul:
+      case InstrCategory::FpMul:
+      case InstrCategory::FpAlu:
+        return 2;
+      case InstrCategory::Rec:
+        return 1;  // Hist write overlaps like a store to a write buffer
+      case InstrCategory::Load:
+      case InstrCategory::Store:
+        AMNESIAC_PANIC("memory instruction latency needs a service level");
+      default:
+        return 1;
+    }
+}
+
+double
+EnergyModel::loadEnergy(MemLevel level) const
+{
+    double core = _config.memCoreNj;
+    switch (level) {
+      case MemLevel::L1:
+        return core + _config.l1AccessNj;
+      case MemLevel::L2:
+        return core + _config.l1AccessNj + _config.l2AccessNj;
+      case MemLevel::Memory:
+        return core + _config.l1AccessNj + _config.l2AccessNj +
+               _config.memReadNj;
+    }
+    AMNESIAC_PANIC("loadEnergy: bad level");
+}
+
+std::uint32_t
+EnergyModel::loadLatency(MemLevel level) const
+{
+    switch (level) {
+      case MemLevel::L1:
+        return _config.l1Cycles;
+      case MemLevel::L2:
+        return _config.l1Cycles + _config.l2Cycles;
+      case MemLevel::Memory:
+        return _config.l1Cycles + _config.l2Cycles + _config.memCycles;
+    }
+    AMNESIAC_PANIC("loadLatency: bad level");
+}
+
+double
+EnergyModel::storeEnergy(MemLevel level) const
+{
+    // Write-allocate: a store missing down to `level` pays the same
+    // traversal as a load, and the write itself lands in L1.
+    return loadEnergy(level);
+}
+
+std::uint32_t
+EnergyModel::storeLatency(MemLevel level) const
+{
+    // Stores retire through a write buffer; only the allocate fill on a
+    // miss stalls the (in-order, scalar) core.
+    if (level == MemLevel::L1)
+        return 1;
+    return loadLatency(level);
+}
+
+double
+EnergyModel::writebackEnergy(MemLevel into) const
+{
+    switch (into) {
+      case MemLevel::L2:
+        return _config.l2AccessNj;
+      case MemLevel::Memory:
+        return _config.memWriteNj;
+      case MemLevel::L1:
+        break;
+    }
+    AMNESIAC_PANIC("writebackEnergy: writes back into L2 or Memory only");
+}
+
+double
+EnergyModel::probeEnergy(MemLevel down_to) const
+{
+    switch (down_to) {
+      case MemLevel::L1:
+        return _config.l1AccessNj;
+      case MemLevel::L2:
+        return _config.l1AccessNj + _config.l2AccessNj;
+      case MemLevel::Memory:
+        break;
+    }
+    AMNESIAC_PANIC("probeEnergy: probes stop at a cache level");
+}
+
+std::uint32_t
+EnergyModel::probeLatency(MemLevel down_to) const
+{
+    switch (down_to) {
+      case MemLevel::L1:
+        return _config.l1Cycles;
+      case MemLevel::L2:
+        return _config.l1Cycles + _config.l2Cycles;
+      case MemLevel::Memory:
+        break;
+    }
+    AMNESIAC_PANIC("probeLatency: probes stop at a cache level");
+}
+
+double
+EnergyModel::cyclesToSeconds(std::uint64_t cycles) const
+{
+    return static_cast<double>(cycles) / (_config.frequencyGhz * 1e9);
+}
+
+double
+EnergyModel::ratioR() const
+{
+    return instrEnergy(InstrCategory::IntAlu) / loadEnergy(MemLevel::Memory);
+}
+
+EnergyModel
+EnergyModel::withNonMemScale(double scale) const
+{
+    EnergyConfig config = _config;
+    config.nonMemScale = scale;
+    return EnergyModel(config);
+}
+
+}  // namespace amnesiac

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Technology-node energy data behind the paper's motivation (Table 1,
+ * adapted from Keckler et al., "GPUs and the Future of Parallel
+ * Computing", IEEE Micro 2011): communication (64-bit on-chip SRAM
+ * load) vs computation (64-bit double-precision FMA) energy across
+ * scaling generations, plus the off-chip DRAM factor.
+ */
+
+#ifndef AMNESIAC_ENERGY_TECH_H
+#define AMNESIAC_ENERGY_TECH_H
+
+#include <string>
+#include <vector>
+
+namespace amnesiac {
+
+/** One technology point of the Table 1 comparison. */
+struct TechNode
+{
+    std::string name;          ///< e.g. "40nm", "10nm (HP)"
+    double voltage = 0.0;      ///< operating voltage, V
+    double fmaPj = 0.0;        ///< 64-bit DP FMA energy, pJ
+    double sramLoadPj = 0.0;   ///< 64-bit on-chip SRAM load energy, pJ
+    double dramLoadPj = 0.0;   ///< 64-bit off-chip DRAM load energy, pJ
+
+    /** Table 1 row: SRAM-load energy normalized to the FMA. */
+    double sramOverFma() const { return sramLoadPj / fmaPj; }
+
+    /** Off-chip communication over computation energy (§1: ">50x"). */
+    double dramOverFma() const { return dramLoadPj / fmaPj; }
+};
+
+/**
+ * The three nodes of Table 1. Absolute pJ values follow the Keckler et
+ * al. characterization (40 nm FMA ≈ 50 pJ, scaled by V² and the
+ * published ratios); the normalized columns reproduce Table 1 exactly:
+ * 1.55 (40 nm), 5.75 (10 nm HP), 5.77 (10 nm LP).
+ */
+const std::vector<TechNode> &table1Nodes();
+
+/**
+ * Scaling-trend helper: interpolate the SRAM/FMA ratio between the
+ * 40 nm and 10 nm generations on a log-feature-size axis. Used by the
+ * tech-scaling example to show when recomputation breaks even.
+ * @param feature_nm feature size in [10, 40]
+ */
+double projectSramOverFma(double feature_nm);
+
+}  // namespace amnesiac
+
+#endif  // AMNESIAC_ENERGY_TECH_H

@@ -1,0 +1,113 @@
+#include "isa/disasm.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace amnesiac {
+
+namespace {
+
+std::string
+regName(Reg r)
+{
+    return "r" + std::to_string(static_cast<int>(r));
+}
+
+std::string
+sliceSrc(Reg r, OperandSource src)
+{
+    switch (src) {
+      case OperandSource::Slice: return "s(" + regName(r) + ")";
+      case OperandSource::Hist:  return "hist";
+      case OperandSource::Live:  return regName(r);
+    }
+    return "?";
+}
+
+}  // namespace
+
+std::string
+disassemble(const Instruction &i, bool in_slice)
+{
+    std::ostringstream os;
+    os << mnemonic(i.op);
+    auto src = [&](Reg r, OperandSource s) {
+        return in_slice ? sliceSrc(r, s) : regName(r);
+    };
+    switch (i.op) {
+      case Opcode::Nop:
+      case Opcode::Halt:
+      case Opcode::Rtn:
+        break;
+      case Opcode::Li:
+        os << " " << regName(i.rd) << ", " << i.imm;
+        break;
+      case Opcode::Mov:
+        os << " " << regName(i.rd) << ", " << src(i.rs1, i.src1);
+        break;
+      case Opcode::Ld:
+        os << " " << regName(i.rd) << ", [" << regName(i.rs1) << "+"
+           << i.imm << "]";
+        break;
+      case Opcode::St:
+        os << " [" << regName(i.rs1) << "+" << i.imm << "], "
+           << regName(i.rs2);
+        break;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+        os << " " << regName(i.rs1) << ", " << regName(i.rs2) << ", @"
+           << i.target;
+        break;
+      case Opcode::Jmp:
+        os << " @" << i.target;
+        break;
+      case Opcode::Rcmp:
+        os << " " << regName(i.rd) << ", [" << regName(i.rs1) << "+"
+           << i.imm << "], slice#" << i.sliceId << "@" << i.target;
+        break;
+      case Opcode::Rec:
+        os << " {" << regName(i.rs1) << ", " << regName(i.rs2)
+           << "} -> hist[" << i.leafAddr << "], slice#" << i.sliceId;
+        break;
+      default:
+        os << " " << regName(i.rd) << ", " << src(i.rs1, i.src1) << ", "
+           << src(i.rs2, i.src2);
+        break;
+    }
+    return os.str();
+}
+
+std::string
+disassemble(const Program &program)
+{
+    std::ostringstream os;
+    os << "; program '" << program.name << "': "
+       << program.codeEnd << " main instructions, "
+       << (program.code.size() - program.codeEnd)
+       << " slice-region instructions, "
+       << program.slices.size() << " slices, "
+       << program.dataImage.size() << " data words\n";
+    for (std::uint32_t pc = 0; pc < program.code.size(); ++pc) {
+        if (pc == program.codeEnd)
+            os << "; --- slice region ---\n";
+        for (const auto &meta : program.slices) {
+            if (meta.entry == pc) {
+                os << "; slice #" << meta.id << ": len=" << meta.length
+                   << " height=" << meta.height
+                   << " leaves=" << meta.leafCount
+                   << " (hist=" << meta.histLeafCount << ")"
+                   << " Erc~" << meta.ercEstimate << "nJ"
+                   << " Eld~" << meta.eldEstimate << "nJ\n";
+            }
+        }
+        char head[16];
+        std::snprintf(head, sizeof(head), "%5u:  ", pc);
+        os << head
+           << disassemble(program.code[pc], program.inSliceRegion(pc))
+           << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace amnesiac

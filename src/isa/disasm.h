@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Disassembler for debugging and for examples that want to show the
+ * amnesic compiler's rewritten binaries.
+ */
+
+#ifndef AMNESIAC_ISA_DISASM_H
+#define AMNESIAC_ISA_DISASM_H
+
+#include <string>
+
+#include "isa/program.h"
+
+namespace amnesiac {
+
+/** Render one instruction. */
+std::string disassemble(const Instruction &instr, bool in_slice = false);
+
+/**
+ * Render a whole program, annotating the slice region and per-slice
+ * boundaries with the metadata the compiler recorded.
+ */
+std::string disassemble(const Program &program);
+
+}  // namespace amnesiac
+
+#endif  // AMNESIAC_ISA_DISASM_H

@@ -1,0 +1,12 @@
+#include "isa/instruction.h"
+
+// Instruction is a plain aggregate; its behaviours live in the machine
+// (execution), disassembler (printing), and verifier (validation). This
+// translation unit only anchors the header in the build.
+
+namespace amnesiac {
+
+static_assert(sizeof(Instruction) <= 40,
+              "Instruction should stay compact; simulators copy it a lot");
+
+}  // namespace amnesiac

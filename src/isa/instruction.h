@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Instruction word of the target ISA, including the per-operand sourcing
+ * annotations used inside recomputation slices.
+ */
+
+#ifndef AMNESIAC_ISA_INSTRUCTION_H
+#define AMNESIAC_ISA_INSTRUCTION_H
+
+#include <cstdint>
+
+#include "isa/opcode.h"
+
+namespace amnesiac {
+
+/** Architectural register index. */
+using Reg = std::uint8_t;
+
+/** Number of architectural registers. */
+inline constexpr Reg kNumRegs = 32;
+
+/** Slice-id sentinel for "not part of / not naming any slice". */
+inline constexpr std::uint32_t kNoSlice = 0xFFFFFFFFu;
+
+/**
+ * Where a slice instruction's source operand comes from at
+ * recomputation time (§3.2/§3.5 generalized to per-operand form; see
+ * DESIGN.md §5).
+ */
+enum class OperandSource : std::uint8_t {
+    /// Produced by an earlier instruction of the same slice; read from
+    /// SFile through the renamer. (The paper's "intermediate" path.)
+    Slice,
+    /// Non-recomputable input checkpointed by a REC; read from the Hist
+    /// entry keyed by this instruction's slice-region address.
+    Hist,
+    /// Live architectural register value at recomputation time.
+    Live,
+};
+
+/**
+ * One instruction word.
+ *
+ * A single wide struct encodes every opcode; unused fields are zero.
+ * Field use by opcode:
+ *  - ALU/Mov:  rd, rs1[, rs2]
+ *  - Li:       rd, imm
+ *  - Ld:       rd, [rs1 + imm]
+ *  - St:       [rs1 + imm] <- rs2
+ *  - Beq/Bne/Blt: rs1, rs2, target
+ *  - Jmp:      target
+ *  - Rcmp:     rd, [rs1 + imm] (inherited from the swapped load),
+ *              target = slice entry, sliceId
+ *  - Rec:      rs1, rs2 snapshot -> Hist[leafAddr], sliceId
+ *  - Rtn:      (none)
+ * Inside a slice region, src1/src2 give the operand sourcing; outside
+ * they are ignored (implicitly Live, i.e. the register file).
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    Reg rd = 0;
+    Reg rs1 = 0;
+    Reg rs2 = 0;
+    /** Immediate: Li value, or Ld/St/Rcmp address displacement (bytes). */
+    std::int64_t imm = 0;
+    /** Absolute instruction index: branch/jump target or slice entry. */
+    std::uint32_t target = 0;
+    /** RSlice id for Rcmp/Rec and for slice-region instructions. */
+    std::uint32_t sliceId = kNoSlice;
+    /** Rec: slice-region index of the leaf instruction it checkpoints. */
+    std::uint32_t leafAddr = 0;
+    /** Slice-region sourcing of rs1 / rs2. */
+    OperandSource src1 = OperandSource::Slice;
+    OperandSource src2 = OperandSource::Slice;
+
+    /** Accounting category of this instruction. */
+    InstrCategory category() const { return categoryOf(op); }
+};
+
+}  // namespace amnesiac
+
+#endif  // AMNESIAC_ISA_INSTRUCTION_H

@@ -1,0 +1,39 @@
+#include "isa/program.h"
+
+#include <algorithm>
+
+namespace amnesiac {
+
+std::optional<RSliceMeta>
+Program::sliceById(std::uint32_t id) const
+{
+    if (id < slices.size() && slices[id].id == id)
+        return slices[id];
+    auto it = std::find_if(slices.begin(), slices.end(),
+                           [id](const RSliceMeta &m) { return m.id == id; });
+    if (it == slices.end())
+        return std::nullopt;
+    return *it;
+}
+
+std::size_t
+Program::rcmpCount() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(code.begin(), code.begin() + codeEnd,
+                      [](const Instruction &i) {
+                          return i.op == Opcode::Rcmp;
+                      }));
+}
+
+std::size_t
+Program::loadCount() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(code.begin(), code.begin() + codeEnd,
+                      [](const Instruction &i) {
+                          return i.op == Opcode::Ld;
+                      }));
+}
+
+}  // namespace amnesiac

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Program container: main code, embedded recomputation-slice region,
+ * slice metadata, and the initial data-memory image.
+ */
+
+#ifndef AMNESIAC_ISA_PROGRAM_H
+#define AMNESIAC_ISA_PROGRAM_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.h"
+
+namespace amnesiac {
+
+/**
+ * Compiler-recorded metadata for one recomputation slice embedded in a
+ * binary (§3.1.2). Benches use it for Fig 6 (length histogram), Fig 7
+ * (non-recomputable inputs), and the storage-complexity analysis (§3.4).
+ */
+struct RSliceMeta
+{
+    /** Unique slice id (operand of RCMP/REC, §3.5). */
+    std::uint32_t id = 0;
+    /** Index of the first slice instruction (RCMP's branch target). */
+    std::uint32_t entry = 0;
+    /** Recomputing-instruction count, excluding the closing RTN. */
+    std::uint32_t length = 0;
+    /** Index of the RCMP that guards this slice. */
+    std::uint32_t rcmpPc = 0;
+    /** Tree height (levels below the root). */
+    std::uint32_t height = 0;
+    /** Number of leaves (nodes with no Slice-sourced operand). */
+    std::uint32_t leafCount = 0;
+    /** Leaves with at least one Hist-sourced (non-recomputable) input. */
+    std::uint32_t histLeafCount = 0;
+    /** Total Hist-sourced operands across the slice (Hist reads/visit). */
+    std::uint32_t histOperandCount = 0;
+    /** Compiler-estimated recomputation energy, nJ (§3.1.1). */
+    double ercEstimate = 0.0;
+    /** Compiler-estimated (probabilistic) load energy, nJ (§3.1.1). */
+    double eldEstimate = 0.0;
+};
+
+/**
+ * An executable program.
+ *
+ * Layout: instructions [0, codeEnd) are the main (classic) code and must
+ * be terminated by Halt paths only; [codeEnd, size) is the slice region
+ * appended by the amnesic compiler, composed of contiguous per-slice
+ * blocks each ending in RTN. Data memory is a flat array of 64-bit words
+ * addressed in bytes (8-byte aligned accesses only).
+ */
+class Program
+{
+  public:
+    /** The instruction stream (main code followed by slice region). */
+    std::vector<Instruction> code;
+
+    /** First slice-region index; equals code.size() when no slices. */
+    std::uint32_t codeEnd = 0;
+
+    /** Initial data memory, one entry per 64-bit word. */
+    std::vector<std::uint64_t> dataImage;
+
+    /** Metadata for every embedded slice, indexed by slice id. */
+    std::vector<RSliceMeta> slices;
+
+    /** Human-readable name (workload name, for reports). */
+    std::string name;
+
+    /** Data memory size in bytes. */
+    std::uint64_t memBytes() const { return dataImage.size() * 8; }
+
+    /** True if pc addresses the slice region. */
+    bool
+    inSliceRegion(std::uint32_t pc) const
+    {
+        return pc >= codeEnd && pc < code.size();
+    }
+
+    /** Slice metadata by id; nullopt if the id is unknown. */
+    std::optional<RSliceMeta> sliceById(std::uint32_t id) const;
+
+    /** Count of static RCMP instructions in the main code. */
+    std::size_t rcmpCount() const;
+
+    /** Count of static load instructions in the main code. */
+    std::size_t loadCount() const;
+};
+
+}  // namespace amnesiac
+
+#endif  // AMNESIAC_ISA_PROGRAM_H

@@ -1,0 +1,199 @@
+#include "isa/program_builder.h"
+
+#include <bit>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace amnesiac {
+
+namespace {
+constexpr std::uint32_t kUnbound = std::numeric_limits<std::uint32_t>::max();
+}  // namespace
+
+ProgramBuilder::ProgramBuilder(std::string name)
+{
+    _program.name = std::move(name);
+}
+
+std::uint32_t
+ProgramBuilder::here() const
+{
+    return static_cast<std::uint32_t>(_program.code.size());
+}
+
+ProgramBuilder::Label
+ProgramBuilder::newLabel()
+{
+    _labelPos.push_back(kUnbound);
+    return Label{static_cast<std::uint32_t>(_labelPos.size() - 1)};
+}
+
+void
+ProgramBuilder::bind(Label label)
+{
+    AMNESIAC_ASSERT(label.index < _labelPos.size(), "unknown label");
+    AMNESIAC_ASSERT(_labelPos[label.index] == kUnbound,
+                    "label bound twice");
+    _labelPos[label.index] = here();
+}
+
+std::uint32_t
+ProgramBuilder::emit(Instruction instr)
+{
+    AMNESIAC_ASSERT(!_finished, "builder reused after finish()");
+    _program.code.push_back(instr);
+    return here() - 1;
+}
+
+std::uint32_t
+ProgramBuilder::nop()
+{
+    return emit({});
+}
+
+std::uint32_t
+ProgramBuilder::li(Reg rd, std::uint64_t value)
+{
+    Instruction i;
+    i.op = Opcode::Li;
+    i.rd = rd;
+    i.imm = static_cast<std::int64_t>(value);
+    return emit(i);
+}
+
+std::uint32_t
+ProgramBuilder::lif(Reg rd, double value)
+{
+    return li(rd, std::bit_cast<std::uint64_t>(value));
+}
+
+std::uint32_t
+ProgramBuilder::mov(Reg rd, Reg rs1)
+{
+    Instruction i;
+    i.op = Opcode::Mov;
+    i.rd = rd;
+    i.rs1 = rs1;
+    return emit(i);
+}
+
+std::uint32_t
+ProgramBuilder::alu(Opcode op, Reg rd, Reg rs1, Reg rs2)
+{
+    AMNESIAC_ASSERT(isSliceable(op) && numSources(op) == 2,
+                    "alu() expects a two-source ALU opcode");
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    return emit(i);
+}
+
+std::uint32_t
+ProgramBuilder::ld(Reg rd, Reg addr_base, std::int64_t disp)
+{
+    Instruction i;
+    i.op = Opcode::Ld;
+    i.rd = rd;
+    i.rs1 = addr_base;
+    i.imm = disp;
+    return emit(i);
+}
+
+std::uint32_t
+ProgramBuilder::st(Reg addr_base, std::int64_t disp, Reg value)
+{
+    Instruction i;
+    i.op = Opcode::St;
+    i.rs1 = addr_base;
+    i.rs2 = value;
+    i.imm = disp;
+    return emit(i);
+}
+
+std::uint32_t
+ProgramBuilder::emitBranch(Opcode op, Reg rs1, Reg rs2, Label target)
+{
+    AMNESIAC_ASSERT(target.index < _labelPos.size(), "unknown label");
+    Instruction i;
+    i.op = op;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    std::uint32_t at = emit(i);
+    _fixups.emplace_back(at, target.index);
+    return at;
+}
+
+std::uint32_t
+ProgramBuilder::beq(Reg rs1, Reg rs2, Label target)
+{
+    return emitBranch(Opcode::Beq, rs1, rs2, target);
+}
+
+std::uint32_t
+ProgramBuilder::bne(Reg rs1, Reg rs2, Label target)
+{
+    return emitBranch(Opcode::Bne, rs1, rs2, target);
+}
+
+std::uint32_t
+ProgramBuilder::blt(Reg rs1, Reg rs2, Label target)
+{
+    return emitBranch(Opcode::Blt, rs1, rs2, target);
+}
+
+std::uint32_t
+ProgramBuilder::jmp(Label target)
+{
+    return emitBranch(Opcode::Jmp, 0, 0, target);
+}
+
+std::uint32_t
+ProgramBuilder::halt()
+{
+    Instruction i;
+    i.op = Opcode::Halt;
+    return emit(i);
+}
+
+std::uint32_t
+ProgramBuilder::raw(const Instruction &instr)
+{
+    return emit(instr);
+}
+
+std::uint64_t
+ProgramBuilder::allocWords(std::uint64_t words)
+{
+    std::uint64_t addr = _program.dataImage.size() * 8;
+    _program.dataImage.resize(_program.dataImage.size() + words, 0);
+    return addr;
+}
+
+void
+ProgramBuilder::poke(std::uint64_t byte_addr, std::uint64_t value)
+{
+    AMNESIAC_ASSERT(byte_addr % 8 == 0, "unaligned poke");
+    std::uint64_t word = byte_addr / 8;
+    AMNESIAC_ASSERT(word < _program.dataImage.size(),
+                    "poke beyond allocated data");
+    _program.dataImage[word] = value;
+}
+
+Program
+ProgramBuilder::finish()
+{
+    AMNESIAC_ASSERT(!_finished, "finish() called twice");
+    for (auto [at, label] : _fixups) {
+        AMNESIAC_ASSERT(_labelPos[label] != kUnbound,
+                        "label referenced but never bound");
+        _program.code[at].target = _labelPos[label];
+    }
+    _program.codeEnd = static_cast<std::uint32_t>(_program.code.size());
+    _finished = true;
+    return std::move(_program);
+}
+
+}  // namespace amnesiac

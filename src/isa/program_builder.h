@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fluent construction of programs in the target ISA, with forward-label
+ * resolution. Used by tests and by the workload generators.
+ */
+
+#ifndef AMNESIAC_ISA_PROGRAM_BUILDER_H
+#define AMNESIAC_ISA_PROGRAM_BUILDER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace amnesiac {
+
+/**
+ * Incrementally assembles a Program's main code.
+ *
+ * Branch targets are expressed as labels: newLabel() creates one,
+ * bind() pins it to the next emitted instruction, and finish() patches
+ * every reference. Slice regions are appended later by the amnesic
+ * compiler, never by the builder.
+ */
+class ProgramBuilder
+{
+  public:
+    /** Opaque label handle. */
+    struct Label { std::uint32_t index; };
+
+    explicit ProgramBuilder(std::string name = "anonymous");
+
+    /** Index the next emitted instruction will get. */
+    std::uint32_t here() const;
+
+    /** Create an unbound label. */
+    Label newLabel();
+
+    /** Bind a label to the next emitted instruction (once only). */
+    void bind(Label label);
+
+    // --- emission helpers (each returns the instruction's index) ---
+    std::uint32_t nop();
+    std::uint32_t li(Reg rd, std::uint64_t value);
+    /** Li of a double value, bit-cast into the register. */
+    std::uint32_t lif(Reg rd, double value);
+    std::uint32_t mov(Reg rd, Reg rs1);
+    std::uint32_t alu(Opcode op, Reg rd, Reg rs1, Reg rs2);
+    std::uint32_t ld(Reg rd, Reg addr_base, std::int64_t disp = 0);
+    std::uint32_t st(Reg addr_base, std::int64_t disp, Reg value);
+    std::uint32_t beq(Reg rs1, Reg rs2, Label target);
+    std::uint32_t bne(Reg rs1, Reg rs2, Label target);
+    std::uint32_t blt(Reg rs1, Reg rs2, Label target);
+    std::uint32_t jmp(Label target);
+    std::uint32_t halt();
+    /** Escape hatch for uncommon encodings. */
+    std::uint32_t raw(const Instruction &instr);
+
+    /**
+     * Reserve data memory.
+     * @param words number of 64-bit words
+     * @return byte address of the first word
+     */
+    std::uint64_t allocWords(std::uint64_t words);
+
+    /** Write an initial value into the data image (byte address). */
+    void poke(std::uint64_t byte_addr, std::uint64_t value);
+
+    /**
+     * Seal the program: patch labels, set codeEnd, move the data image.
+     * The builder must not be reused afterwards.
+     */
+    Program finish();
+
+  private:
+    std::uint32_t emit(Instruction instr);
+    std::uint32_t emitBranch(Opcode op, Reg rs1, Reg rs2, Label target);
+
+    Program _program;
+    /// Bound position per label (UINT32_MAX while unbound).
+    std::vector<std::uint32_t> _labelPos;
+    /// (instruction index, label) pairs awaiting the patch in finish().
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> _fixups;
+    bool _finished = false;
+};
+
+}  // namespace amnesiac
+
+#endif  // AMNESIAC_ISA_PROGRAM_BUILDER_H

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Structural verification of programs, including the amnesic-compiler
+ * output invariants (well-formed slice region, REC/RCMP cross
+ * references, topological operand order inside slices).
+ */
+
+#ifndef AMNESIAC_ISA_VERIFIER_H
+#define AMNESIAC_ISA_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace amnesiac {
+
+/**
+ * Check a program's structural invariants.
+ * @return list of human-readable violations; empty when well-formed.
+ */
+std::vector<std::string> verifyProgram(const Program &program);
+
+/** Convenience wrapper: true iff verifyProgram() returns no findings. */
+bool isWellFormed(const Program &program);
+
+}  // namespace amnesiac
+
+#endif  // AMNESIAC_ISA_VERIFIER_H

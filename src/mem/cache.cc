@@ -1,0 +1,108 @@
+#include "mem/cache.h"
+
+#include "util/logging.h"
+
+namespace amnesiac {
+
+namespace {
+
+bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+}  // namespace
+
+Cache::Cache(const CacheConfig &config) : _config(config)
+{
+    AMNESIAC_ASSERT(isPowerOfTwo(config.lineBytes), "line size not 2^k");
+    AMNESIAC_ASSERT(config.ways > 0, "cache needs at least one way");
+    std::uint64_t lines = config.sizeBytes / config.lineBytes;
+    AMNESIAC_ASSERT(lines % config.ways == 0,
+                    "size/line/ways geometry does not divide into sets");
+    _numSets = static_cast<std::uint32_t>(lines / config.ways);
+    AMNESIAC_ASSERT(isPowerOfTwo(_numSets), "set count not 2^k");
+    _lines.resize(static_cast<std::size_t>(_numSets) * config.ways);
+}
+
+std::uint64_t
+Cache::lineAddr(std::uint64_t addr) const
+{
+    return addr / _config.lineBytes;
+}
+
+std::uint32_t
+Cache::setIndex(std::uint64_t line_addr) const
+{
+    return static_cast<std::uint32_t>(line_addr & (_numSets - 1));
+}
+
+bool
+Cache::access(std::uint64_t addr, bool is_write, bool &evicted_dirty,
+              std::uint64_t &evicted_addr)
+{
+    evicted_dirty = false;
+    evicted_addr = 0;
+    ++_tick;
+    std::uint64_t laddr = lineAddr(addr);
+    std::uint64_t tag = laddr / _numSets;
+    Line *set = &_lines[static_cast<std::size_t>(setIndex(laddr)) *
+                        _config.ways];
+
+    Line *victim = &set[0];
+    for (std::uint32_t w = 0; w < _config.ways; ++w) {
+        Line &line = set[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = _tick;
+            line.dirty = line.dirty || is_write;
+            ++_stats.hits;
+            return true;
+        }
+        if (!line.valid) {
+            victim = &line;
+        } else if (victim->valid && line.lastUse < victim->lastUse) {
+            victim = &line;
+        }
+    }
+
+    ++_stats.misses;
+    if (victim->valid) {
+        ++_stats.evictions;
+        if (victim->dirty) {
+            ++_stats.dirtyEvictions;
+            evicted_dirty = true;
+            evicted_addr = (victim->tag * _numSets +
+                            setIndex(laddr)) * _config.lineBytes;
+        }
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->dirty = is_write;
+    victim->lastUse = _tick;
+    return false;
+}
+
+bool
+Cache::contains(std::uint64_t addr) const
+{
+    std::uint64_t laddr = lineAddr(addr);
+    std::uint64_t tag = laddr / _numSets;
+    const Line *set = &_lines[static_cast<std::size_t>(setIndex(laddr)) *
+                              _config.ways];
+    for (std::uint32_t w = 0; w < _config.ways; ++w)
+        if (set[w].valid && set[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (auto &line : _lines)
+        line = Line{};
+    _tick = 0;
+    _stats = CacheStats{};
+}
+
+}  // namespace amnesiac

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Set-associative write-back cache model (tags only; data is functional
+ * and lives in the machine's flat memory). Matches the paper's Table 3
+ * geometry: LRU replacement, write-back, write-allocate.
+ */
+
+#ifndef AMNESIAC_MEM_CACHE_H
+#define AMNESIAC_MEM_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace amnesiac {
+
+/** Geometry of one cache level. */
+struct CacheConfig
+{
+    std::uint64_t sizeBytes = 32 * 1024;
+    std::uint32_t ways = 8;
+    std::uint32_t lineBytes = 64;
+};
+
+/** Hit/miss/eviction counters for one cache level. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t dirtyEvictions = 0;
+
+    std::uint64_t accesses() const { return hits + misses; }
+};
+
+/**
+ * One level of set-associative cache with true-LRU replacement.
+ *
+ * The cache stores no data: access() reports hit/miss and whether a
+ * dirty victim was evicted, which the hierarchy turns into write-back
+ * traffic toward the next level.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Perform an access, updating tags and LRU state.
+     * @param addr byte address
+     * @param is_write true for stores (marks the line dirty)
+     * @param[out] evicted_dirty set when a dirty victim was displaced
+     * @param[out] evicted_addr base address of the displaced dirty line
+     * @return true on hit
+     */
+    bool access(std::uint64_t addr, bool is_write, bool &evicted_dirty,
+                std::uint64_t &evicted_addr);
+
+    /** Non-mutating lookup (no LRU update); used by probes and oracles. */
+    bool contains(std::uint64_t addr) const;
+
+    /** Drop every line (also clears statistics). */
+    void reset();
+
+    const CacheConfig &config() const { return _config; }
+    const CacheStats &stats() const { return _stats; }
+
+    /** Number of sets (derived from the geometry). */
+    std::uint32_t numSets() const { return _numSets; }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    std::uint64_t lineAddr(std::uint64_t addr) const;
+    std::uint32_t setIndex(std::uint64_t line_addr) const;
+
+    CacheConfig _config;
+    std::uint32_t _numSets;
+    std::vector<Line> _lines;  ///< numSets × ways, row-major by set
+    std::uint64_t _tick = 0;   ///< logical time for LRU ordering
+    CacheStats _stats;
+};
+
+}  // namespace amnesiac
+
+#endif  // AMNESIAC_MEM_CACHE_H

@@ -1,0 +1,105 @@
+#include "mem/hierarchy.h"
+
+#include "util/logging.h"
+
+namespace amnesiac {
+
+std::string_view
+memLevelName(MemLevel level)
+{
+    switch (level) {
+      case MemLevel::L1:     return "L1";
+      case MemLevel::L2:     return "L2";
+      case MemLevel::Memory: return "Memory";
+    }
+    return "?";
+}
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &config)
+    : _l1(config.l1), _l2(config.l2)
+{
+}
+
+HierarchyAccess
+MemoryHierarchy::accessCommon(std::uint64_t addr, bool is_write)
+{
+    HierarchyAccess result;
+    bool dirty = false;
+    std::uint64_t victim = 0;
+
+    if (_l1.access(addr, is_write, dirty, victim)) {
+        result.servicedBy = MemLevel::L1;
+        return result;
+    }
+    // L1 miss: a dirty L1 victim is installed into L2 (write-back).
+    if (dirty) {
+        result.l1Writeback = true;
+        bool wb_dirty = false;
+        std::uint64_t wb_victim = 0;
+        _l2.access(victim, true, wb_dirty, wb_victim);
+        if (wb_dirty)
+            result.l2Writeback = true;
+    }
+
+    bool l2_dirty = false;
+    std::uint64_t l2_victim = 0;
+    if (_l2.access(addr, false, l2_dirty, l2_victim)) {
+        result.servicedBy = MemLevel::L2;
+    } else {
+        result.servicedBy = MemLevel::Memory;
+    }
+    if (l2_dirty)
+        result.l2Writeback = true;
+    return result;
+}
+
+HierarchyAccess
+MemoryHierarchy::read(std::uint64_t addr)
+{
+    HierarchyAccess result = accessCommon(addr, false);
+    ++_readsBy[static_cast<std::size_t>(result.servicedBy)];
+    return result;
+}
+
+HierarchyAccess
+MemoryHierarchy::write(std::uint64_t addr)
+{
+    HierarchyAccess result = accessCommon(addr, true);
+    ++_writesBy[static_cast<std::size_t>(result.servicedBy)];
+    return result;
+}
+
+MemLevel
+MemoryHierarchy::peekLevel(std::uint64_t addr) const
+{
+    if (_l1.contains(addr))
+        return MemLevel::L1;
+    if (_l2.contains(addr))
+        return MemLevel::L2;
+    return MemLevel::Memory;
+}
+
+bool
+MemoryHierarchy::probe(MemLevel level, std::uint64_t addr) const
+{
+    switch (level) {
+      case MemLevel::L1:
+        return _l1.contains(addr);
+      case MemLevel::L2:
+        return _l2.contains(addr);
+      case MemLevel::Memory:
+        return true;
+    }
+    AMNESIAC_PANIC("probe: bad level");
+}
+
+void
+MemoryHierarchy::reset()
+{
+    _l1.reset();
+    _l2.reset();
+    _readsBy = {};
+    _writesBy = {};
+}
+
+}  // namespace amnesiac

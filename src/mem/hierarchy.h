@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Two-level data-cache hierarchy plus main memory, per the paper's
+ * Table 3. The first-level cache is the FLC and the L2 is the LLC of
+ * the runtime policies (§3.3.1).
+ */
+
+#ifndef AMNESIAC_MEM_HIERARCHY_H
+#define AMNESIAC_MEM_HIERARCHY_H
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "mem/cache.h"
+
+namespace amnesiac {
+
+/** Where in the memory hierarchy an access is serviced. */
+enum class MemLevel : std::uint8_t { L1 = 0, L2 = 1, Memory = 2 };
+
+/** Number of service levels (for Pr_Li vectors etc.). */
+inline constexpr std::size_t kNumMemLevels = 3;
+
+/** Printable level name. */
+std::string_view memLevelName(MemLevel level);
+
+/** Result of one hierarchy access. */
+struct HierarchyAccess
+{
+    /** Level that serviced the request. */
+    MemLevel servicedBy = MemLevel::L1;
+    /** A dirty L1 victim was written back into L2. */
+    bool l1Writeback = false;
+    /** A dirty L2 victim was written back to memory. */
+    bool l2Writeback = false;
+};
+
+/** Geometry of the whole data-side hierarchy. */
+struct HierarchyConfig
+{
+    CacheConfig l1{32 * 1024, 8, 64};    ///< Table 3: L1-D 32KB 8-way
+    CacheConfig l2{512 * 1024, 8, 64};   ///< Table 3: L2 512KB 8-way
+};
+
+/**
+ * Inclusive-enough two-level model: misses allocate in every level they
+ * traverse; dirty evictions propagate one level down. Data is held
+ * elsewhere (functionally, in the machine's flat memory) — the hierarchy
+ * tracks placement only, which is all the energy/latency model needs.
+ */
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const HierarchyConfig &config = {});
+
+    /** Perform a data read; updates tags/LRU and returns placement. */
+    HierarchyAccess read(std::uint64_t addr);
+
+    /** Perform a data write (write-allocate, write-back). */
+    HierarchyAccess write(std::uint64_t addr);
+
+    /**
+     * Where *would* a read be serviced right now? No state change.
+     * Used by the oracle policies (§5.1) and the profiler.
+     */
+    MemLevel peekLevel(std::uint64_t addr) const;
+
+    /** Non-mutating single-level probe (FLC/LLC policy checks). */
+    bool probe(MemLevel level, std::uint64_t addr) const;
+
+    /** Drop all cached state and statistics. */
+    void reset();
+
+    const Cache &l1() const { return _l1; }
+    const Cache &l2() const { return _l2; }
+
+    /** Reads serviced by each level so far (profiling). */
+    const std::array<std::uint64_t, kNumMemLevels> &readsBy() const
+    {
+        return _readsBy;
+    }
+
+    /** Writes serviced by each level so far. */
+    const std::array<std::uint64_t, kNumMemLevels> &writesBy() const
+    {
+        return _writesBy;
+    }
+
+  private:
+    HierarchyAccess accessCommon(std::uint64_t addr, bool is_write);
+
+    Cache _l1;
+    Cache _l2;
+    std::array<std::uint64_t, kNumMemLevels> _readsBy{};
+    std::array<std::uint64_t, kNumMemLevels> _writesBy{};
+};
+
+}  // namespace amnesiac
+
+#endif  // AMNESIAC_MEM_HIERARCHY_H

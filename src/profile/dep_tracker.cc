@@ -1,0 +1,141 @@
+#include "profile/dep_tracker.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace amnesiac {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ull;
+
+std::uint64_t
+mix(std::uint64_t h, std::uint64_t v)
+{
+    h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    return h * kFnvPrime;
+}
+
+std::uint64_t
+signatureWalk(const NodePtr &node, int depth_left, int &nodes_left)
+{
+    if (!node)
+        return 0x11ull;  // untracked-origin marker
+    if (depth_left == 0 || nodes_left <= 0)
+        return 0x22ull;  // truncation marker
+    --nodes_left;
+    std::uint64_t h = kFnvOffset;
+    h = mix(h, static_cast<std::uint64_t>(node->kind));
+    h = mix(h, node->pc);
+    h = mix(h, static_cast<std::uint64_t>(node->op));
+    if (node->fanIn() >= 1)
+        h = mix(h, signatureWalk(node->in1, depth_left - 1, nodes_left));
+    if (node->fanIn() >= 2)
+        h = mix(h, signatureWalk(node->in2, depth_left - 1, nodes_left));
+    return h;
+}
+
+}  // namespace
+
+std::uint64_t
+treeSignature(const NodePtr &root, int max_depth, int max_nodes)
+{
+    int nodes_left = max_nodes;
+    return signatureWalk(root, max_depth, nodes_left);
+}
+
+void
+DepTracker::onAlu(std::uint32_t pc, const Instruction &instr,
+                  std::uint64_t result)
+{
+    AMNESIAC_ASSERT(isSliceable(instr.op), "onAlu: non-sliceable opcode");
+    auto node = std::make_shared<ProducerNode>();
+    node->kind = ProducerNode::Kind::Alu;
+    node->pc = pc;
+    node->op = instr.op;
+    node->rd = instr.rd;
+    node->rs1 = instr.rs1;
+    node->rs2 = instr.rs2;
+    node->imm = instr.imm;
+    int fan_in = numSources(instr.op);
+    // Children at the depth cap are replaced by value-preserving stubs:
+    // this bounds graph depth and memory while keeping Live cuts and
+    // tree signatures above the cap byte-identical to the untruncated
+    // graph. No buildable slice is anywhere near kMaxChainDepth tall.
+    auto link = [pc](const NodePtr &child) -> NodePtr {
+        if (!child)
+            return nullptr;
+        bool self_chain = child->kind == ProducerNode::Kind::Alu &&
+                          child->pc == pc;
+        if (child->depth >= kMaxChainDepth ||
+            (self_chain && child->depth >= kSelfChainDepth)) {
+            auto stub = std::make_shared<ProducerNode>(*child);
+            stub->kind = ProducerNode::Kind::Truncated;
+            stub->in1.reset();
+            stub->in2.reset();
+            stub->depth = 1;
+            return stub;
+        }
+        return child;
+    };
+    std::uint16_t depth = 1;
+    if (fan_in >= 1) {
+        node->in1 = link(_regs[instr.rs1]);
+        if (node->in1)
+            depth = std::max<std::uint16_t>(depth, node->in1->depth + 1);
+    }
+    if (fan_in >= 2) {
+        node->in2 = link(_regs[instr.rs2]);
+        if (node->in2)
+            depth = std::max<std::uint16_t>(depth, node->in2->depth + 1);
+    }
+    node->depth = depth;
+    node->seq = ++_seq;
+    node->value = result;
+    _regs[instr.rd] = std::move(node);
+}
+
+void
+DepTracker::onLoad(std::uint32_t pc, const Instruction &instr,
+                   std::uint64_t addr, std::uint64_t value)
+{
+    auto it = _mem.find(addr / 8);
+    if (it != _mem.end() && it->second) {
+        // The register now holds the stored value: same production.
+        _regs[instr.rd] = it->second;
+        return;
+    }
+    auto node = std::make_shared<ProducerNode>();
+    node->kind = ProducerNode::Kind::InputLoad;
+    node->pc = pc;
+    node->op = instr.op;
+    node->rd = instr.rd;
+    node->seq = ++_seq;
+    node->value = value;
+    node->addr = addr;
+    _regs[instr.rd] = std::move(node);
+}
+
+void
+DepTracker::onStore(const Instruction &instr, std::uint64_t addr)
+{
+    _mem[addr / 8] = _regs[instr.rs2];
+}
+
+const NodePtr &
+DepTracker::regProducer(Reg r) const
+{
+    AMNESIAC_ASSERT(r < kNumRegs, "register index out of range");
+    return _regs[r];
+}
+
+NodePtr
+DepTracker::memProducer(std::uint64_t addr) const
+{
+    auto it = _mem.find(addr / 8);
+    return it == _mem.end() ? nullptr : it->second;
+}
+
+}  // namespace amnesiac

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Dynamic producer-consumer dependence tracking (§2.1, §4).
+ *
+ * While a program runs under classic execution, the tracker mirrors
+ * dataflow: every value-producing instruction creates an immutable
+ * ProducerNode linked to the nodes of its input operands; stores
+ * propagate the stored value's node into memory; loads pull it back out.
+ * At any load, the node of the loaded value is the root of the dynamic
+ * backward slice — exactly the RSlice(v) candidate of §2.1.
+ */
+
+#ifndef AMNESIAC_PROFILE_DEP_TRACKER_H
+#define AMNESIAC_PROFILE_DEP_TRACKER_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "isa/instruction.h"
+
+namespace amnesiac {
+
+/** One dynamic value production. Immutable once created. */
+struct ProducerNode
+{
+    /** What kind of production this is. */
+    enum class Kind : std::uint8_t {
+        /// A sliceable (register-to-register) instruction.
+        Alu,
+        /// A load whose value had no tracked producer: a read-only
+        /// program input (§2.2 case i).
+        InputLoad,
+        /// Depth-cap stub: stands in for a production whose own inputs
+        /// were truncated. Value and site are preserved (so Live cuts
+        /// and signatures above it behave exactly like the real node);
+        /// it cannot be expanded into a slice.
+        Truncated,
+    };
+
+    Kind kind = Kind::Alu;
+    std::uint32_t pc = 0;       ///< static site of the production
+    Opcode op = Opcode::Nop;
+    Reg rd = 0;
+    Reg rs1 = 0;
+    Reg rs2 = 0;
+    std::int64_t imm = 0;
+    /** Producers of the input operands; null = untracked origin
+     * (initial register state). */
+    std::shared_ptr<const ProducerNode> in1;
+    std::shared_ptr<const ProducerNode> in2;
+    /** Global dynamic sequence number (monotonic per production). */
+    std::uint64_t seq = 0;
+    /** Longest producer chain below (and including) this node. Chains
+     * are cut at kMaxChainDepth — far beyond any buildable slice — so
+     * node graphs stay bounded and destruction never recurses deeply. */
+    std::uint16_t depth = 1;
+    /** The produced value (diagnostics and dry-run seeding). */
+    std::uint64_t value = 0;
+    /** InputLoad only: the address the input was loaded from. */
+    std::uint64_t addr = 0;
+
+    /** Number of producer links this node carries (0..2). */
+    int
+    fanIn() const
+    {
+        if (kind != Kind::Alu)
+            return 0;
+        return numSources(op);
+    }
+};
+
+using NodePtr = std::shared_ptr<const ProducerNode>;
+
+/** Producer-chain depth limit (see ProducerNode::depth). */
+inline constexpr std::uint16_t kMaxChainDepth = 192;
+
+/** Tighter limit for self-recurrent chains (a node consuming a prior
+ * production of its own static site, e.g. loop counters, accumulators,
+ * LCG state): such chains can never be usefully recomputed beyond
+ * trivial depth — their slice is their entire history. */
+inline constexpr std::uint16_t kSelfChainDepth = 8;
+
+/**
+ * Structural signature of a backward slice: two dynamic trees get the
+ * same signature iff they replicate the same static instructions in the
+ * same shape (used to measure per-site slice stability, §3.1.1).
+ * Depth and node count are capped; oversize trees get a sentinel mixed
+ * into the hash so they never collide with their truncation.
+ */
+std::uint64_t treeSignature(const NodePtr &root, int max_depth = 12,
+                            int max_nodes = 256);
+
+/**
+ * Tracks producers for every architectural register and memory word
+ * during one classic run. Fed by the Profiler observer.
+ */
+class DepTracker
+{
+  public:
+    DepTracker() = default;
+
+    /** Record execution of a sliceable instruction. */
+    void onAlu(std::uint32_t pc, const Instruction &instr,
+               std::uint64_t result);
+
+    /** Record a load: either attaches the stored value's producer to the
+     * destination register or creates an InputLoad node. */
+    void onLoad(std::uint32_t pc, const Instruction &instr,
+                std::uint64_t addr, std::uint64_t value);
+
+    /** Record a store: memory inherits the stored value's producer. */
+    void onStore(const Instruction &instr, std::uint64_t addr);
+
+    /** Producer of the current value of register r (may be null). */
+    const NodePtr &regProducer(Reg r) const;
+
+    /** Producer of the value at a memory word (null if untracked). */
+    NodePtr memProducer(std::uint64_t addr) const;
+
+    /** Dynamic productions so far (sequence counter). */
+    std::uint64_t productions() const { return _seq; }
+
+  private:
+    std::array<NodePtr, kNumRegs> _regs;
+    std::unordered_map<std::uint64_t, NodePtr> _mem;  ///< word addr -> node
+    std::uint64_t _seq = 0;
+};
+
+}  // namespace amnesiac
+
+#endif  // AMNESIAC_PROFILE_DEP_TRACKER_H

@@ -1,0 +1,230 @@
+#include "profile/profiler.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace amnesiac {
+
+double
+SiteProfile::prLevel(MemLevel level) const
+{
+    if (count == 0)
+        return 0.0;
+    return static_cast<double>(byLevel[static_cast<std::size_t>(level)]) /
+           static_cast<double>(count);
+}
+
+const CandidateTree *
+SiteProfile::topTree() const
+{
+    const CandidateTree *best = nullptr;
+    for (const auto &tree : trees)
+        if (!best || tree.count > best->count)
+            best = &tree;
+    return best;
+}
+
+double
+SiteProfile::stability() const
+{
+    const CandidateTree *best = topTree();
+    if (!best || count == 0)
+        return 0.0;
+    return static_cast<double>(best->count) / static_cast<double>(count);
+}
+
+Profiler::Profiler(const ProfilerConfig &config) : _config(config) {}
+
+void
+Profiler::onExec(const Machine &m, std::uint32_t pc,
+                 const Instruction &instr)
+{
+    ++_execCounts[pc];
+    if (isSliceable(instr.op)) {
+        // Mirror the execution so the tracker can link producers. The
+        // observer fires pre-execution, so source registers still hold
+        // the instruction's inputs.
+        std::uint64_t result = Machine::evalAlu(
+            instr.op, m.reg(instr.rs1 < kNumRegs ? instr.rs1 : 0),
+            m.reg(instr.rs2 < kNumRegs ? instr.rs2 : 0), instr.imm);
+        _tracker.onAlu(pc, instr, result);
+    }
+}
+
+void
+Profiler::onLoad(const Machine &m, std::uint32_t pc, std::uint64_t addr,
+                 std::uint64_t value, MemLevel serviced)
+{
+    (void)m;
+    _values.record(pc, value);
+    SiteProfile &site = _sites[pc];
+    site.pc = pc;
+    ++site.count;
+    ++site.byLevel[static_cast<std::size_t>(serviced)];
+
+    const Instruction &instr = m.program().code[pc];
+    _tracker.onLoad(pc, instr, addr, value);
+
+    const NodePtr &root = _tracker.regProducer(instr.rd);
+    if (!root || root->kind != ProducerNode::Kind::Alu) {
+        ++site.untracked;
+        return;
+    }
+    analyzeTree(m, site, root);
+}
+
+void
+Profiler::onStore(const Machine &m, std::uint32_t pc, std::uint64_t addr,
+                  std::uint64_t value, MemLevel serviced)
+{
+    (void)value;
+    (void)serviced;
+    _tracker.onStore(m.program().code[pc], addr);
+}
+
+namespace {
+
+constexpr std::uint64_t kSigPrime = 0x100000001B3ull;
+
+std::uint64_t
+sigMix(std::uint64_t h, std::uint64_t v)
+{
+    h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    return h * kSigPrime;
+}
+
+/**
+ * Structural signature of the slice the builder would construct at
+ * this instant: recursion stops at operands whose register currently
+ * holds the produced input value (a Live cut) — otherwise chains
+ * through loop-carried state would make every dynamic tree look
+ * different even though the buildable slice is identical.
+ */
+std::uint64_t
+liveCutSignature(const Machine &m, const DepTracker &tracker,
+                 const NodePtr &node, int depth_left, int &nodes_left)
+{
+    if (!node)
+        return 0x11ull;
+    if (depth_left == 0 || nodes_left <= 0)
+        return 0x22ull;
+    --nodes_left;
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    h = sigMix(h, static_cast<std::uint64_t>(node->kind));
+    h = sigMix(h, node->pc);
+    h = sigMix(h, static_cast<std::uint64_t>(node->op));
+    auto operand = [&](Reg read_reg, const NodePtr &p) -> std::uint64_t {
+        if (p) {
+            if (m.reg(read_reg) == p->value)
+                return 0x33ull;  // Live cut
+            return liveCutSignature(m, tracker, p, depth_left - 1,
+                                    nodes_left);
+        }
+        // Untracked origin: live while the register is untouched.
+        return tracker.regProducer(read_reg) ? 0x11ull : 0x33ull;
+    };
+    if (node->fanIn() >= 1)
+        h = sigMix(h, operand(node->rs1, node->in1));
+    if (node->fanIn() >= 2)
+        h = sigMix(h, operand(node->rs2, node->in2));
+    return h;
+}
+
+}  // namespace
+
+void
+Profiler::analyzeTree(const Machine &m, SiteProfile &site,
+                      const NodePtr &root)
+{
+    int sig_nodes_left = _config.maxTreeNodes;
+    std::uint64_t sig = liveCutSignature(m, _tracker, root,
+                                         _config.maxTreeDepth,
+                                         sig_nodes_left);
+    auto it = std::find_if(site.trees.begin(), site.trees.end(),
+                           [sig](const CandidateTree &t) {
+                               return t.signature == sig;
+                           });
+    if (it != site.trees.end()) {
+        ++it->count;
+    } else if (site.trees.size() < _config.maxDistinctTrees) {
+        site.trees.push_back({sig, 1, root});
+    } else {
+        site.treeOverflow = true;
+    }
+
+    int nodes_left = _config.maxTreeNodes;
+    collectLiveStats(m, site, root, _config.maxTreeDepth, nodes_left);
+}
+
+void
+Profiler::collectLiveStats(const Machine &m, SiteProfile &site,
+                           const NodePtr &node, int depth_left,
+                           int &nodes_left)
+{
+    if (!node || node->kind != ProducerNode::Kind::Alu || depth_left == 0 ||
+        nodes_left <= 0)
+        return;
+    --nodes_left;
+
+    auto record = [&](int idx, Reg read_reg, const NodePtr &producer) {
+        OperandLiveStat &stat = site.operandLive[operandKey(node->pc, idx)];
+        ++stat.seen;
+        // Live sourcing is legal for this instance iff the register the
+        // replica would read holds the value the production consumed —
+        // whether because it was never overwritten or because the code
+        // re-produced the same value (e.g. an index recomputed by the
+        // consumer loop). Untracked origins count as live only while
+        // the register is still untouched.
+        if (producer) {
+            if (m.reg(read_reg) == producer->value) {
+                ++stat.matches;
+                return true;
+            }
+            return false;
+        }
+        if (!_tracker.regProducer(read_reg)) {
+            ++stat.matches;
+            return true;
+        }
+        return false;
+    };
+
+    // Recursion mirrors the builder: a Live-matched operand is a cut —
+    // nothing below it can end up in the slice on this instance.
+    int fan_in = node->fanIn();
+    if (fan_in >= 1 && !record(0, node->rs1, node->in1))
+        collectLiveStats(m, site, node->in1, depth_left - 1, nodes_left);
+    if (fan_in >= 2 && !record(1, node->rs2, node->in2))
+        collectLiveStats(m, site, node->in2, depth_left - 1, nodes_left);
+}
+
+const SiteProfile *
+Profiler::site(std::uint32_t pc) const
+{
+    auto it = _sites.find(pc);
+    return it == _sites.end() ? nullptr : &it->second;
+}
+
+std::vector<const SiteProfile *>
+Profiler::sites() const
+{
+    std::vector<const SiteProfile *> result;
+    result.reserve(_sites.size());
+    for (const auto &[pc, profile] : _sites)
+        result.push_back(&profile);
+    std::sort(result.begin(), result.end(),
+              [](const SiteProfile *a, const SiteProfile *b) {
+                  return a->pc < b->pc;
+              });
+    return result;
+}
+
+std::uint64_t
+Profiler::execCount(std::uint32_t pc) const
+{
+    auto it = _execCounts.find(pc);
+    return it == _execCounts.end() ? 0 : it->second;
+}
+
+}  // namespace amnesiac

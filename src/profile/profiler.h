@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Runtime profiler (the paper's Pin-based profiling pass, §4): per-load
+ * residence statistics (Pr_Li, §3.1.1), dynamic backward-slice shapes and
+ * their stability, live-operand statistics, and value locality.
+ */
+
+#ifndef AMNESIAC_PROFILE_PROFILER_H
+#define AMNESIAC_PROFILE_PROFILER_H
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "profile/dep_tracker.h"
+#include "profile/value_locality.h"
+#include "sim/machine.h"
+
+namespace amnesiac {
+
+/** Tuning for the profiling pass. */
+struct ProfilerConfig
+{
+    /** Tree-walk caps (also cap treeSignature). Deep enough to cover
+     * the paper's longest observed slices (~70 instructions, Fig 6). */
+    int maxTreeDepth = 80;
+    int maxTreeNodes = 256;
+    /** Distinct tree shapes remembered per site before giving up. */
+    std::size_t maxDistinctTrees = 8;
+};
+
+/** One remembered backward-slice shape at a load site. */
+struct CandidateTree
+{
+    std::uint64_t signature = 0;
+    std::uint64_t count = 0;
+    /** First dynamic instance with this signature (kept alive). */
+    NodePtr representative;
+};
+
+/** Live-operand statistics key: (node pc, operand index). */
+inline std::uint64_t
+operandKey(std::uint32_t node_pc, int operand_idx)
+{
+    return (static_cast<std::uint64_t>(node_pc) << 8) |
+           static_cast<std::uint64_t>(operand_idx);
+}
+
+/**
+ * How often a boundary operand's register held the produced input
+ * *value* at load time (→ Live sourcing legality, §2.2 case ii).
+ * Value equality (not production identity) is the right test: a
+ * re-produced equal value recomputes correctly, which is what makes
+ * pure-function-of-index slices free of non-recomputable inputs.
+ */
+struct OperandLiveStat
+{
+    std::uint64_t matches = 0;
+    std::uint64_t seen = 0;
+
+    double
+    rate() const
+    {
+        return seen == 0
+            ? 0.0 : static_cast<double>(matches) / static_cast<double>(seen);
+    }
+};
+
+/** Everything the amnesic compiler needs to know about one load site. */
+struct SiteProfile
+{
+    std::uint32_t pc = 0;
+    std::uint64_t count = 0;
+    /** Dynamic instances serviced by L1 / L2 / Memory. */
+    std::array<std::uint64_t, kNumMemLevels> byLevel{};
+    std::vector<CandidateTree> trees;
+    /** Site saw more distinct shapes than maxDistinctTrees. */
+    bool treeOverflow = false;
+    /** Instances whose loaded value had no sliceable producer. */
+    std::uint64_t untracked = 0;
+    std::unordered_map<std::uint64_t, OperandLiveStat> operandLive;
+
+    /** Pr_Li: probability the load is serviced at a level (§3.1.1). */
+    double prLevel(MemLevel level) const;
+
+    /** Most frequent tree shape (nullptr when none recorded). */
+    const CandidateTree *topTree() const;
+
+    /** Share of instances matching the top tree shape. */
+    double stability() const;
+};
+
+/**
+ * Machine observer implementing the profiling pass. Attach to a classic
+ * Machine, run the program, then hand the result to the amnesic
+ * compiler.
+ */
+class Profiler : public MachineObserver
+{
+  public:
+    explicit Profiler(const ProfilerConfig &config = {});
+
+    void onExec(const Machine &m, std::uint32_t pc,
+                const Instruction &instr) override;
+    void onLoad(const Machine &m, std::uint32_t pc, std::uint64_t addr,
+                std::uint64_t value, MemLevel serviced) override;
+    void onStore(const Machine &m, std::uint32_t pc, std::uint64_t addr,
+                 std::uint64_t value, MemLevel serviced) override;
+
+    /** Profile of one load site (nullptr if the site never executed). */
+    const SiteProfile *site(std::uint32_t pc) const;
+
+    /** All profiled load sites (deterministic order: ascending pc). */
+    std::vector<const SiteProfile *> sites() const;
+
+    /** Dynamic execution count of any static instruction. */
+    std::uint64_t execCount(std::uint32_t pc) const;
+
+    const ValueLocalityProfiler &valueLocality() const { return _values; }
+    const DepTracker &tracker() const { return _tracker; }
+
+  private:
+    void analyzeTree(const Machine &m, SiteProfile &site,
+                     const NodePtr &root);
+    void collectLiveStats(const Machine &m, SiteProfile &site,
+                          const NodePtr &node, int depth_left,
+                          int &nodes_left);
+
+    ProfilerConfig _config;
+    DepTracker _tracker;
+    ValueLocalityProfiler _values;
+    std::unordered_map<std::uint32_t, SiteProfile> _sites;
+    std::unordered_map<std::uint32_t, std::uint64_t> _execCounts;
+};
+
+}  // namespace amnesiac
+
+#endif  // AMNESIAC_PROFILE_PROFILER_H

@@ -1,0 +1,165 @@
+#include "report/experiment.h"
+
+#include <algorithm>
+
+#include "sim/machine.h"
+#include "util/logging.h"
+
+namespace amnesiac {
+
+std::array<double, kNumMemLevels>
+PolicyOutcome::swappedResidencePct() const
+{
+    std::array<double, kNumMemLevels> pct{};
+    std::uint64_t total = 0;
+    for (std::uint64_t v : stats.swappedByLevel)
+        total += v;
+    if (total == 0)
+        return pct;
+    for (std::size_t i = 0; i < kNumMemLevels; ++i)
+        pct[i] = 100.0 * static_cast<double>(stats.swappedByLevel[i]) /
+                 static_cast<double>(total);
+    return pct;
+}
+
+const PolicyOutcome *
+BenchmarkResult::byPolicy(Policy policy) const
+{
+    auto it = std::find_if(policies.begin(), policies.end(),
+                           [policy](const PolicyOutcome &o) {
+                               return o.policy == policy;
+                           });
+    return it == policies.end() ? nullptr : &*it;
+}
+
+ExperimentRunner::ExperimentRunner(const ExperimentConfig &config)
+    : _config(config)
+{
+}
+
+SimStats
+ExperimentRunner::runClassic(const Program &program) const
+{
+    Machine machine(program, energyModel(), _config.hierarchy);
+    machine.run(_config.runLimit);
+    return machine.stats();
+}
+
+SimStats
+ExperimentRunner::runAmnesic(const Program &program, Policy policy) const
+{
+    AmnesicConfig amnesic = _config.amnesic;
+    amnesic.policy = policy;
+    AmnesicMachine machine(program, energyModel(), amnesic,
+                           _config.hierarchy);
+    machine.run(_config.runLimit);
+    return machine.stats();
+}
+
+BenchmarkResult
+ExperimentRunner::run(const Workload &workload) const
+{
+    return run(workload,
+               {kAllPolicies, kAllPolicies + std::size(kAllPolicies)});
+}
+
+BenchmarkResult
+ExperimentRunner::run(const Workload &workload,
+                      const std::vector<Policy> &policies) const
+{
+    BenchmarkResult result;
+    result.name = workload.name;
+    result.classic = runClassic(workload.program);
+
+    EnergyModel energy = energyModel();
+    bool need_oracle = std::any_of(policies.begin(), policies.end(),
+                                   needsOracleSet);
+    bool need_normal = !std::all_of(policies.begin(), policies.end(),
+                                    needsOracleSet);
+
+    CompilerConfig compiler_config = _config.compiler;
+    compiler_config.runLimit = _config.runLimit;
+    if (need_normal) {
+        compiler_config.oracleSet = false;
+        AmnesicCompiler compiler(energy, _config.hierarchy,
+                                 compiler_config);
+        result.compiled = compiler.compile(workload.program);
+    }
+    if (need_oracle) {
+        compiler_config.oracleSet = true;
+        AmnesicCompiler compiler(energy, _config.hierarchy,
+                                 compiler_config);
+        result.oracleCompiled = compiler.compile(workload.program);
+    }
+
+    double classic_edp = result.classic.edp(energy);
+    double classic_energy = result.classic.energyNj();
+    double classic_time = result.classic.timeSeconds(energy);
+    for (Policy policy : policies) {
+        const Program &binary = needsOracleSet(policy)
+            ? result.oracleCompiled.program : result.compiled.program;
+        PolicyOutcome outcome;
+        outcome.policy = policy;
+        outcome.stats = runAmnesic(binary, policy);
+        outcome.edpGainPct =
+            gainPercent(classic_edp, outcome.stats.edp(energy));
+        outcome.energyGainPct =
+            gainPercent(classic_energy, outcome.stats.energyNj());
+        outcome.perfGainPct =
+            gainPercent(classic_time, outcome.stats.timeSeconds(energy));
+        result.policies.push_back(std::move(outcome));
+    }
+    return result;
+}
+
+double
+breakEvenScale(const Workload &workload, const ExperimentConfig &config,
+               Policy policy, double max_scale)
+{
+    // Compile once at the default scale: the binary (slice set) is an
+    // artifact of today's technology point.
+    ExperimentRunner base(config);
+    CompilerConfig compiler_config = config.compiler;
+    compiler_config.oracleSet = needsOracleSet(policy);
+    compiler_config.runLimit = config.runLimit;
+    AmnesicCompiler compiler(base.energyModel(), config.hierarchy,
+                             compiler_config);
+    CompileResult compiled = compiler.compile(workload.program);
+    if (compiled.slices.empty())
+        return 1.0;  // nothing to trade: break-even is immediate
+
+    auto gain_at = [&](double scale) {
+        ExperimentConfig scaled = config;
+        scaled.energy.nonMemScale = scale;
+        // Pin the scheduler's decision model to the compile-time scale
+        // so only the energy bill changes with R.
+        scaled.amnesic.decisionNonMemScale = config.energy.nonMemScale;
+        ExperimentRunner runner(scaled);
+        SimStats classic = runner.runClassic(workload.program);
+        SimStats amnesic = runner.runAmnesic(compiled.program, policy);
+        // The crossing is searched on the *energy* gain: recomputation
+        // keeps its latency advantage at any R in this model, so an
+        // EDP-based crossing need not exist (see EXPERIMENTS.md).
+        return gainPercent(classic.energyNj(), amnesic.energyNj());
+    };
+
+    // Exponential bracket, then bisection on the sign change.
+    double lo = config.energy.nonMemScale;
+    if (gain_at(lo) <= 0.0)
+        return lo;
+    double hi = lo * 2.0;
+    while (hi < max_scale && gain_at(hi) > 0.0)
+        hi *= 2.0;
+    if (hi >= max_scale && gain_at(max_scale) > 0.0)
+        return max_scale;
+    for (int iter = 0; iter < 12; ++iter) {
+        double mid = 0.5 * (lo + hi);
+        if (gain_at(mid) > 0.0)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+}  // namespace amnesiac

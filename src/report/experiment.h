@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Experiment runner shared by every benchmark harness: profile →
+ * compile (probabilistic and oracle slice sets) → simulate classic and
+ * amnesic execution per policy → gain metrics, exactly the §5
+ * methodology.
+ */
+
+#ifndef AMNESIAC_REPORT_EXPERIMENT_H
+#define AMNESIAC_REPORT_EXPERIMENT_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/amnesic_machine.h"
+#include "core/compiler.h"
+#include "core/policy.h"
+#include "workloads/workload.h"
+
+namespace amnesiac {
+
+/** Everything configurable about one experiment. */
+struct ExperimentConfig
+{
+    EnergyConfig energy;
+    HierarchyConfig hierarchy;
+    CompilerConfig compiler;
+    AmnesicConfig amnesic;
+    std::uint64_t runLimit = 1ull << 32;
+};
+
+/** One policy's run and its gains over classic execution (§5.1). */
+struct PolicyOutcome
+{
+    Policy policy = Policy::Compiler;
+    SimStats stats;
+    double edpGainPct = 0.0;     ///< Fig 3
+    double energyGainPct = 0.0;  ///< Fig 4
+    double perfGainPct = 0.0;    ///< Fig 5
+
+    /** % of fired recomputations whose data resided at each level —
+     * the Table 5 row for this policy. */
+    std::array<double, kNumMemLevels> swappedResidencePct() const;
+};
+
+/** Everything measured for one workload. */
+struct BenchmarkResult
+{
+    std::string name;
+    SimStats classic;
+    /** Compiler output with the probabilistic slice set (§3.1.1). */
+    CompileResult compiled;
+    /** Compiler output with the oracle slice set (§5.1). */
+    CompileResult oracleCompiled;
+    std::vector<PolicyOutcome> policies;
+
+    /** Outcome of one policy (nullptr if it was not run). */
+    const PolicyOutcome *byPolicy(Policy policy) const;
+};
+
+/**
+ * Runs workloads through the full §5 pipeline. Stateless between
+ * calls; all determinism comes from the workload programs.
+ */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(const ExperimentConfig &config = {});
+
+    /** Full matrix: classic + all five policies. */
+    BenchmarkResult run(const Workload &workload) const;
+
+    /** Restricted policy list (cheaper for focused benches). */
+    BenchmarkResult run(const Workload &workload,
+                        const std::vector<Policy> &policies) const;
+
+    /** Classic-only simulation of a program. */
+    SimStats runClassic(const Program &program) const;
+
+    /** One amnesic simulation of an already-compiled binary. */
+    SimStats runAmnesic(const Program &program, Policy policy) const;
+
+    const ExperimentConfig &config() const { return _config; }
+    EnergyModel energyModel() const { return EnergyModel(_config.energy); }
+
+  private:
+    ExperimentConfig _config;
+};
+
+/**
+ * Table 6 break-even search (§5.5): smallest non-memory EPI scale at
+ * which the amnesic *energy* gain vanishes. The binary is compiled once
+ * at the default scale; the charged model is swept while the
+ * scheduler's decision model stays pinned. (The paper's procedure is
+ * underspecified and its EDP-based crossing need not exist in this
+ * model because recomputation keeps its latency advantage at any R —
+ * see EXPERIMENTS.md.)
+ * @param policy runtime policy to evaluate (the paper names C-Oracle)
+ * @param max_scale search cap; returns max_scale if no crossing below
+ */
+double breakEvenScale(const Workload &workload,
+                      const ExperimentConfig &config,
+                      Policy policy = Policy::COracle,
+                      double max_scale = 256.0);
+
+}  // namespace amnesiac
+
+#endif  // AMNESIAC_REPORT_EXPERIMENT_H

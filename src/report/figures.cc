@@ -1,0 +1,199 @@
+#include "report/figures.h"
+
+#include <sstream>
+
+#include "util/histogram.h"
+#include "util/table.h"
+
+namespace amnesiac {
+
+namespace {
+
+double
+metricOf(const PolicyOutcome &outcome, GainMetric metric)
+{
+    switch (metric) {
+      case GainMetric::Edp:    return outcome.edpGainPct;
+      case GainMetric::Energy: return outcome.energyGainPct;
+      case GainMetric::Time:   return outcome.perfGainPct;
+    }
+    return 0.0;
+}
+
+double
+pct(double part, double whole)
+{
+    return whole == 0.0 ? 0.0 : 100.0 * part / whole;
+}
+
+}  // namespace
+
+std::string
+renderArchitectureTable(const ExperimentConfig &config)
+{
+    const EnergyConfig &e = config.energy;
+    const HierarchyConfig &h = config.hierarchy;
+    std::ostringstream os;
+    os << "Simulated architecture (paper Table 3):\n"
+       << "  frequency: " << e.frequencyGhz << " GHz\n"
+       << "  L1-D: " << h.l1.sizeBytes / 1024 << "KB " << h.l1.ways
+       << "-way, " << e.l1AccessNj << " nJ, " << e.l1Cycles << " cycles\n"
+       << "  L2:   " << h.l2.sizeBytes / 1024 << "KB " << h.l2.ways
+       << "-way, " << e.l2AccessNj << " nJ, " << e.l2Cycles << " cycles\n"
+       << "  Memory: read " << e.memReadNj << " nJ / write "
+       << e.memWriteNj << " nJ, " << e.memCycles << " cycles\n"
+       << "  EPI(int-alu): " << e.intAluNj * e.nonMemScale
+       << " nJ (scale " << e.nonMemScale << ")\n";
+    return os.str();
+}
+
+std::string
+renderGainFigure(const std::vector<BenchmarkResult> &results,
+                 GainMetric metric)
+{
+    std::vector<std::string> headers = {"bench"};
+    for (Policy policy : kAllPolicies)
+        headers.emplace_back(policyName(policy));
+    Table table(std::move(headers));
+    for (const BenchmarkResult &result : results) {
+        table.row().cell(result.name);
+        for (Policy policy : kAllPolicies) {
+            const PolicyOutcome *outcome = result.byPolicy(policy);
+            if (outcome)
+                table.cell(metricOf(*outcome, metric), 2);
+            else
+                table.cell(std::string("-"));
+        }
+    }
+    return table.render();
+}
+
+std::string
+renderTable4(const std::vector<BenchmarkResult> &results)
+{
+    Table table({"bench", "dIns%", "dLd%", "c-Load%", "c-Store%",
+                 "c-NonMem%", "a-Load%", "a-Store%", "a-NonMem%",
+                 "a-Hist%"});
+    for (const BenchmarkResult &result : results) {
+        const PolicyOutcome *outcome = result.byPolicy(Policy::Compiler);
+        if (!outcome)
+            continue;
+        const SimStats &c = result.classic;
+        const SimStats &a = outcome->stats;
+        double c_total = c.energyNj();
+        double a_total = a.energyNj();
+        table.row()
+            .cell(result.name)
+            .cell(pct(static_cast<double>(a.dynInstrs) -
+                          static_cast<double>(c.dynInstrs),
+                      static_cast<double>(c.dynInstrs)), 2)
+            .cell(pct(static_cast<double>(c.dynLoads) -
+                          static_cast<double>(a.dynLoads),
+                      static_cast<double>(c.dynLoads)), 2)
+            .cell(pct(c.energy.loadNj, c_total), 2)
+            .cell(pct(c.energy.storeNj, c_total), 2)
+            .cell(pct(c.energy.nonMemNj, c_total), 2)
+            .cell(pct(a.energy.loadNj, a_total), 2)
+            .cell(pct(a.energy.storeNj, a_total), 2)
+            .cell(pct(a.energy.nonMemNj, a_total), 2)
+            .cell(pct(a.energy.histReadNj, a_total), 3);
+    }
+    return table.render();
+}
+
+std::string
+renderTable5(const std::vector<BenchmarkResult> &results)
+{
+    static constexpr Policy kTable5Policies[] = {Policy::Compiler,
+                                                 Policy::FLC, Policy::LLC};
+    std::vector<std::string> headers = {"bench"};
+    for (Policy policy : kTable5Policies) {
+        std::string p(policyName(policy));
+        headers.push_back(p + ":L1%");
+        headers.push_back(p + ":L2%");
+        headers.push_back(p + ":Mem%");
+    }
+    Table table(std::move(headers));
+    for (const BenchmarkResult &result : results) {
+        table.row().cell(result.name);
+        for (Policy policy : kTable5Policies) {
+            if (policy == Policy::Compiler) {
+                // The paper defines Table 5 over classic execution; the
+                // Compiler policy swaps every dynamic instance of the
+                // selected sites, so its row is exactly the profiled
+                // residence mix of those sites.
+                double weight = 0.0;
+                std::array<double, kNumMemLevels> acc{};
+                for (const RSlice &slice : result.compiled.slices) {
+                    for (std::size_t i = 0; i < kNumMemLevels; ++i)
+                        acc[i] += slice.profResidence[i] *
+                                  static_cast<double>(slice.profCount);
+                    weight += static_cast<double>(slice.profCount);
+                }
+                for (std::size_t i = 0; i < kNumMemLevels; ++i)
+                    table.cell(weight == 0.0 ? 0.0 : 100.0 * acc[i] / weight,
+                               2);
+                continue;
+            }
+            const PolicyOutcome *outcome = result.byPolicy(policy);
+            if (!outcome) {
+                table.cell(std::string("-"))
+                    .cell(std::string("-"))
+                    .cell(std::string("-"));
+                continue;
+            }
+            auto residence = outcome->swappedResidencePct();
+            for (double level_pct : residence)
+                table.cell(level_pct, 2);
+        }
+    }
+    return table.render();
+}
+
+std::string
+renderFig6(const BenchmarkResult &result)
+{
+    Histogram hist(5.0, 16);
+    for (const RSlice &slice : result.compiled.slices)
+        hist.add(static_cast<double>(slice.length()));
+    std::ostringstream os;
+    os << "(" << result.name << ")\n"
+       << hist.render("% RSlices vs # instructions");
+    return os.str();
+}
+
+std::string
+renderFig7(const std::vector<BenchmarkResult> &results)
+{
+    Table table({"bench", "w/ nc %", "w/o nc %", "slices"});
+    for (const BenchmarkResult &result : results) {
+        std::size_t total = result.compiled.slices.size();
+        std::size_t with_nc = 0;
+        for (const RSlice &slice : result.compiled.slices)
+            if (slice.hasNonRecomputableInputs())
+                ++with_nc;
+        table.row()
+            .cell(result.name)
+            .cell(pct(static_cast<double>(with_nc),
+                      static_cast<double>(total)), 1)
+            .cell(pct(static_cast<double>(total - with_nc),
+                      static_cast<double>(total)), 1)
+            .cell(static_cast<long long>(total));
+    }
+    return table.render();
+}
+
+std::string
+renderFig8(const BenchmarkResult &result)
+{
+    Histogram hist(10.0, 10);
+    for (const RSlice &slice : result.compiled.slices)
+        hist.addWeighted(std::min(slice.valueLocalityPct, 99.99),
+                         static_cast<double>(slice.profCount));
+    std::ostringstream os;
+    os << "(" << result.name << ")\n"
+       << hist.render("% swapped loads vs value locality (%)");
+    return os.str();
+}
+
+}  // namespace amnesiac

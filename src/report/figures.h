@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Renderers that print each of the paper's evaluation tables and
+ * figures from experiment results, matching the published rows/series.
+ */
+
+#ifndef AMNESIAC_REPORT_FIGURES_H
+#define AMNESIAC_REPORT_FIGURES_H
+
+#include <string>
+#include <vector>
+
+#include "report/experiment.h"
+
+namespace amnesiac {
+
+/** Which §5.1 gain metric a figure plots. */
+enum class GainMetric { Edp, Energy, Time };
+
+/** Echo of the simulated architecture (the paper's Table 3). */
+std::string renderArchitectureTable(const ExperimentConfig &config);
+
+/** Figs 3/4/5: benchmarks × policies gain matrix. */
+std::string renderGainFigure(const std::vector<BenchmarkResult> &results,
+                             GainMetric metric);
+
+/** Table 4: dynamic instruction mix and energy breakdown, classic vs
+ * amnesic (Compiler policy). */
+std::string renderTable4(const std::vector<BenchmarkResult> &results);
+
+/** Table 5: residence profile of the loads each policy swapped. */
+std::string renderTable5(const std::vector<BenchmarkResult> &results);
+
+/** Fig 6: per-benchmark histogram of instructions per RSlice. */
+std::string renderFig6(const BenchmarkResult &result);
+
+/** Fig 7: share of RSlices with non-recomputable leaf inputs. */
+std::string renderFig7(const std::vector<BenchmarkResult> &results);
+
+/** Fig 8: per-benchmark value-locality histogram of swapped loads. */
+std::string renderFig8(const BenchmarkResult &result);
+
+}  // namespace amnesiac
+
+#endif  // AMNESIAC_REPORT_FIGURES_H

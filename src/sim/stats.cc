@@ -1,0 +1,60 @@
+#include "sim/stats.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace amnesiac {
+
+std::string
+SimStats::summary(const EnergyModel &model) const
+{
+    std::ostringstream os;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "  instructions: %llu (loads %llu, stores %llu)\n",
+                  static_cast<unsigned long long>(dynInstrs),
+                  static_cast<unsigned long long>(dynLoads),
+                  static_cast<unsigned long long>(dynStores));
+    os << line;
+    std::snprintf(line, sizeof(line),
+                  "  cycles: %llu  time: %.3f us\n",
+                  static_cast<unsigned long long>(cycles),
+                  timeSeconds(model) * 1e6);
+    os << line;
+    std::snprintf(line, sizeof(line),
+                  "  energy: %.2f uJ (load %.1f%%, store %.1f%%, "
+                  "non-mem %.1f%%, hist %.1f%%)\n",
+                  energyNj() * 1e-3,
+                  energyNj() > 0 ? 100.0 * energy.loadNj / energyNj() : 0.0,
+                  energyNj() > 0 ? 100.0 * energy.storeNj / energyNj() : 0.0,
+                  energyNj() > 0 ? 100.0 * energy.nonMemNj / energyNj() : 0.0,
+                  energyNj() > 0 ? 100.0 * energy.histReadNj / energyNj()
+                                 : 0.0);
+    os << line;
+    std::snprintf(line, sizeof(line), "  EDP: %.4g J*s\n", edp(model));
+    os << line;
+    if (rcmpSeen > 0) {
+        std::snprintf(line, sizeof(line),
+                      "  amnesic: %llu RCMPs -> %llu recomputations, "
+                      "%llu fallback loads, %llu slice instrs, "
+                      "%llu/%llu mismatches\n",
+                      static_cast<unsigned long long>(rcmpSeen),
+                      static_cast<unsigned long long>(recomputations),
+                      static_cast<unsigned long long>(fallbackLoads),
+                      static_cast<unsigned long long>(recomputedInstrs),
+                      static_cast<unsigned long long>(recomputeMismatches),
+                      static_cast<unsigned long long>(recomputeChecked));
+        os << line;
+    }
+    return os.str();
+}
+
+double
+gainPercent(double classic, double amnesic)
+{
+    if (classic == 0.0)
+        return 0.0;
+    return 100.0 * (classic - amnesic) / classic;
+}
+
+}  // namespace amnesiac

@@ -1,0 +1,78 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace amnesiac {
+
+Histogram::Histogram(double bucket_width, std::size_t bucket_count)
+    : _width(bucket_width), _counts(bucket_count, 0.0)
+{
+    AMNESIAC_ASSERT(bucket_width > 0.0, "bucket width must be positive");
+    AMNESIAC_ASSERT(bucket_count > 0, "bucket count must be positive");
+}
+
+void
+Histogram::addWeighted(double sample, double weight)
+{
+    AMNESIAC_ASSERT(sample >= 0.0, "negative histogram sample");
+    AMNESIAC_ASSERT(weight >= 0.0, "negative histogram weight");
+    auto idx = static_cast<std::size_t>(sample / _width);
+    idx = std::min(idx, _counts.size() - 1);
+    _counts[idx] += weight;
+    _total += weight;
+    _weightedSum += sample * weight;
+    _maxSample = std::max(_maxSample, sample);
+}
+
+double
+Histogram::count(std::size_t i) const
+{
+    AMNESIAC_ASSERT(i < _counts.size(), "bucket index out of range");
+    return _counts[i];
+}
+
+double
+Histogram::percent(std::size_t i) const
+{
+    if (_total == 0.0)
+        return 0.0;
+    return 100.0 * count(i) / _total;
+}
+
+double
+Histogram::mean() const
+{
+    return _total == 0.0 ? 0.0 : _weightedSum / _total;
+}
+
+std::string
+Histogram::render(const std::string &label) const
+{
+    std::ostringstream os;
+    static constexpr int barWidth = 50;
+    double max_pct = 0.0;
+    for (std::size_t i = 0; i < size(); ++i)
+        max_pct = std::max(max_pct, percent(i));
+    os << "  " << label << " (n=" << static_cast<long long>(_total)
+       << ", mean=" << mean() << ")\n";
+    for (std::size_t i = 0; i < size(); ++i) {
+        double pct = percent(i);
+        // Skip empty tail buckets to keep figures compact.
+        if (_counts[i] == 0.0 && lowerEdge(i) > _maxSample)
+            continue;
+        int bars = max_pct == 0.0
+            ? 0 : static_cast<int>(std::lround(barWidth * pct / max_pct));
+        char line[64];
+        std::snprintf(line, sizeof(line), "  [%6.1f,%6.1f) %6.2f%% |",
+                      lowerEdge(i), lowerEdge(i) + _width, pct);
+        os << line << std::string(bars, '#') << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace amnesiac

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Bucketed histogram used for the paper's figure-style distributions
+ * (RSlice length, Fig 6; value locality, Fig 8).
+ */
+
+#ifndef AMNESIAC_UTIL_HISTOGRAM_H
+#define AMNESIAC_UTIL_HISTOGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace amnesiac {
+
+/**
+ * Fixed-width-bucket histogram over [0, bucketWidth * bucketCount).
+ * Samples above the top bucket are clamped into the last bucket;
+ * negative samples are rejected at insert.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param bucket_width width of each bucket (> 0)
+     * @param bucket_count number of buckets (> 0)
+     */
+    Histogram(double bucket_width, std::size_t bucket_count);
+
+    /** Add one sample with weight 1. */
+    void add(double sample) { addWeighted(sample, 1.0); }
+
+    /** Add one sample with an explicit weight. */
+    void addWeighted(double sample, double weight);
+
+    /** Total weight inserted. */
+    double total() const { return _total; }
+
+    /** Number of buckets. */
+    std::size_t size() const { return _counts.size(); }
+
+    /** Raw weight in bucket i. */
+    double count(std::size_t i) const;
+
+    /** Share of total weight in bucket i, in percent (0 if empty). */
+    double percent(std::size_t i) const;
+
+    /** Inclusive lower edge of bucket i. */
+    double lowerEdge(std::size_t i) const { return _width * i; }
+
+    /** Weighted mean of inserted samples. */
+    double mean() const;
+
+    /** Largest sample ever inserted (0 if none). */
+    double maxSample() const { return _maxSample; }
+
+    /**
+     * Render an ASCII bar chart, one row per bucket, matching the paper's
+     * "% of X vs bucket" figures.
+     * @param label axis label for the sample dimension
+     */
+    std::string render(const std::string &label) const;
+
+  private:
+    double _width;
+    std::vector<double> _counts;
+    double _total = 0.0;
+    double _weightedSum = 0.0;
+    double _maxSample = 0.0;
+};
+
+}  // namespace amnesiac
+
+#endif  // AMNESIAC_UTIL_HISTOGRAM_H

@@ -1,0 +1,71 @@
+#include "util/rng.h"
+
+#include "util/logging.h"
+
+namespace amnesiac {
+
+Xorshift64Star::Xorshift64Star(std::uint64_t seed)
+    : _state(seed ? seed : 0x9E3779B97F4A7C15ull)
+{
+}
+
+std::uint64_t
+Xorshift64Star::next()
+{
+    _state ^= _state >> 12;
+    _state ^= _state << 25;
+    _state ^= _state >> 27;
+    return _state * 0x2545F4914F6CDD1Dull;
+}
+
+std::uint64_t
+Xorshift64Star::nextBelow(std::uint64_t bound)
+{
+    AMNESIAC_ASSERT(bound != 0, "nextBelow(0)");
+    return next() % bound;
+}
+
+std::uint64_t
+Xorshift64Star::nextInRange(std::uint64_t lo, std::uint64_t hi)
+{
+    AMNESIAC_ASSERT(lo <= hi, "empty range");
+    return lo + nextBelow(hi - lo + 1);
+}
+
+double
+Xorshift64Star::nextDouble()
+{
+    // 53 random mantissa bits.
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool
+Xorshift64Star::nextBool(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+std::size_t
+Xorshift64Star::nextWeighted(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        AMNESIAC_ASSERT(w >= 0.0, "negative weight");
+        total += w;
+    }
+    AMNESIAC_ASSERT(total > 0.0, "all weights zero");
+    double draw = nextDouble() * total;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (draw < acc)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+}  // namespace amnesiac

@@ -1,0 +1,120 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace amnesiac {
+
+namespace {
+
+bool
+looksNumeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s) {
+        if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+            c != '-' && c != '+' && c != 'e' && c != '%')
+            return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : _headers(std::move(headers))
+{
+    AMNESIAC_ASSERT(!_headers.empty(), "table needs at least one column");
+}
+
+Table &
+Table::row()
+{
+    _rows.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &value)
+{
+    AMNESIAC_ASSERT(!_rows.empty(), "cell() before row()");
+    AMNESIAC_ASSERT(_rows.back().size() < _headers.size(),
+                    "row has more cells than headers");
+    _rows.back().push_back(value);
+    return *this;
+}
+
+Table &
+Table::cell(double value, int precision)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return cell(std::string(buf));
+}
+
+Table &
+Table::cell(long long value)
+{
+    return cell(std::to_string(value));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(_headers.size());
+    for (std::size_t c = 0; c < _headers.size(); ++c)
+        widths[c] = _headers[c].size();
+    for (const auto &r : _rows)
+        for (std::size_t c = 0; c < r.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+
+    auto emit = [&](std::ostringstream &os, const std::string &cell_text,
+                    std::size_t c) {
+        std::size_t pad = widths[c] - cell_text.size();
+        if (looksNumeric(cell_text))
+            os << std::string(pad, ' ') << cell_text;
+        else
+            os << cell_text << std::string(pad, ' ');
+        if (c + 1 < _headers.size())
+            os << "  ";
+    };
+
+    std::ostringstream os;
+    for (std::size_t c = 0; c < _headers.size(); ++c)
+        emit(os, _headers[c], c);
+    os << "\n";
+    std::size_t rule = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(rule, '-') << "\n";
+    for (const auto &r : _rows) {
+        for (std::size_t c = 0; c < _headers.size(); ++c)
+            emit(os, c < r.size() ? r[c] : std::string(), c);
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+Table::renderCsv() const
+{
+    std::ostringstream os;
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ",";
+            os << cells[c];
+        }
+        os << "\n";
+    };
+    line(_headers);
+    for (const auto &r : _rows)
+        line(r);
+    return os.str();
+}
+
+}  // namespace amnesiac

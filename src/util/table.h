@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Minimal ASCII table builder used by the benchmark harnesses to print
+ * paper-style rows (Tables 1, 4, 5, 6 and the per-benchmark gain figures).
+ */
+
+#ifndef AMNESIAC_UTIL_TABLE_H
+#define AMNESIAC_UTIL_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace amnesiac {
+
+/**
+ * Column-aligned text table. Cells are strings; numeric helpers format
+ * with a fixed precision. Rendering right-aligns numeric-looking cells.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent cell() calls append to it. */
+    Table &row();
+
+    /** Append a string cell to the current row. */
+    Table &cell(const std::string &value);
+
+    /** Append a numeric cell with fixed precision (default 2). */
+    Table &cell(double value, int precision = 2);
+
+    /** Append an integer cell. */
+    Table &cell(long long value);
+
+    /** Number of data rows so far. */
+    std::size_t rows() const { return _rows.size(); }
+
+    /** Render with a header rule and 2-space column gutters. */
+    std::string render() const;
+
+    /** Render as comma-separated values (for machine consumption). */
+    std::string renderCsv() const;
+
+  private:
+    std::vector<std::string> _headers;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+}  // namespace amnesiac
+
+#endif  // AMNESIAC_UTIL_TABLE_H

@@ -1,0 +1,261 @@
+#include "workloads/kernels.h"
+
+#include "isa/program_builder.h"
+#include "sim/machine.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace amnesiac {
+
+namespace {
+
+// Register conventions used by every generated kernel. Globals are set
+// once at program start and never clobbered; per-chain registers stay
+// intact from a chain's init loop through its consume loop (the
+// consume-time liveness the slices rely on).
+constexpr Reg kOne = 8;          // 1
+constexpr Reg kThree = 26;       // word->byte shift amount
+constexpr Reg kByteMask = 21;    // 255
+constexpr Reg kLcgMul = 3;       // LCG multiplier
+constexpr Reg kLcgAdd = 7;       // LCG increment
+constexpr Reg kLcgShift = 29;    // top-bits extraction shift
+constexpr Reg kZero = 18;        // never written
+constexpr Reg kLcgState = 1;
+constexpr Reg kConsumeCtr = 2;
+constexpr Reg kAddr = 4;
+constexpr Reg kIndex = 5;
+constexpr Reg kBits = 6;
+constexpr Reg kAcc = 9;
+constexpr Reg kChainIn = 10;     // chain index input (Live slice leaf)
+constexpr Reg kParam = 11;       // nc parameter (Hist slice leaf)
+constexpr Reg kChainVal = 12;
+constexpr Reg kVlShift = 13;     // per chain
+constexpr Reg kShifted = 14;
+constexpr Reg kOutAddr = 15;
+constexpr Reg kOutMask = 16;
+constexpr Reg kOutIval = 17;
+constexpr Reg kColdThresh = 19;  // per chain
+constexpr Reg kTmp = 20;
+constexpr Reg kLoaded = 22;
+constexpr Reg kUMask = 23;
+constexpr Reg kUVal = 24;
+constexpr Reg kChasePtr = 25;
+constexpr Reg kBound = 28;
+constexpr Reg kColdMask = 30;    // per chain
+constexpr Reg kHotMask = 31;     // per chain
+
+/** Recurrence opcode cycle of the producing chains. */
+Opcode
+chainOp(std::uint32_t i)
+{
+    switch (i % 3) {
+      case 0:  return Opcode::Xor;
+      case 1:  return Opcode::Add;
+      default: return Opcode::Mul;
+    }
+}
+
+/** The read-only runtime parameter an nc chain mixes in. */
+std::uint64_t
+paramValue(std::uint64_t seed, std::size_t chain)
+{
+    Xorshift64Star rng(seed ^ (0xA5A5A5A5ull * (chain + 1)));
+    // Keep the parameter odd so multiplication never collapses to 0.
+    return rng.next() | 1;
+}
+
+}  // namespace
+
+std::uint64_t
+chainReferenceValue(const WorkloadSpec &spec, std::size_t c,
+                    std::uint64_t j)
+{
+    AMNESIAC_ASSERT(c < spec.chains.size(), "chain index out of range");
+    const ChainSpec &chain = spec.chains[c];
+    std::uint64_t x = j >> chain.vlShift;
+    std::uint64_t v = chain.nc ? x * paramValue(spec.seed, c) : x + x;
+    for (std::uint32_t i = 1; i < chain.chainLen; ++i)
+        v = Machine::evalAlu(chainOp(i - 1), v, x, 0);
+    return v;
+}
+
+Workload
+buildWorkload(const WorkloadSpec &spec)
+{
+    AMNESIAC_ASSERT(!spec.chains.empty(), "workload needs >= 1 chain");
+    Xorshift64Star rng(spec.seed);
+    ProgramBuilder b(spec.name);
+
+    // --- memory layout ---
+    std::vector<std::uint64_t> chain_base(spec.chains.size());
+    std::vector<std::uint64_t> param_addr(spec.chains.size());
+    for (std::size_t c = 0; c < spec.chains.size(); ++c) {
+        chain_base[c] = b.allocWords(1ull << spec.chains[c].logWords);
+        if (spec.chains[c].nc) {
+            param_addr[c] = b.allocWords(1);
+            b.poke(param_addr[c], paramValue(spec.seed, c));
+        }
+    }
+    std::uint64_t u_words = 1ull << spec.untrackedLogWords;
+    std::uint64_t u_base = b.allocWords(u_words);
+    for (std::uint64_t w = 0; w < u_words; ++w)
+        b.poke(u_base + w * 8, rng.next());
+
+    std::uint64_t chase_base = 0;
+    if (spec.chaseLoadsPerIter > 0) {
+        std::uint64_t chase_words = 1ull << spec.chaseLogWords;
+        chase_base = b.allocWords(chase_words);
+        // A random Sattolo cycle of absolute byte addresses: every load
+        // of the chase walk is a read-only pointer dereference.
+        std::vector<std::uint64_t> perm(chase_words);
+        for (std::uint64_t w = 0; w < chase_words; ++w)
+            perm[w] = w;
+        for (std::uint64_t w = chase_words - 1; w > 0; --w) {
+            std::uint64_t o = rng.nextBelow(w);
+            std::swap(perm[w], perm[o]);
+        }
+        for (std::uint64_t w = 0; w < chase_words; ++w) {
+            std::uint64_t next = perm[(w + 1) % chase_words];
+            b.poke(chase_base + perm[w] * 8, chase_base + next * 8);
+        }
+    }
+    std::uint64_t out_base = b.allocWords(1ull << spec.outLogWords);
+
+    // --- global constants ---
+    b.li(kOne, 1);
+    b.li(kThree, 3);
+    b.li(kByteMask, 255);
+    b.li(kLcgMul, 0x5851F42D4C957F2Dull);
+    b.li(kLcgAdd, 0x14057B7EF767814Full);
+    b.li(kLcgShift, 29);
+    b.li(kZero, 0);
+    b.li(kOutMask, (1ull << spec.outLogWords) - 1);
+    b.li(kOutIval, spec.outStoreLogInterval >= 64
+                       ? 0
+                       : (1ull << spec.outStoreLogInterval) - 1);
+    b.li(kUMask, u_words - 1);
+    b.li(kLcgState, rng.next() | 1);
+    if (spec.chaseLoadsPerIter > 0)
+        b.li(kChasePtr, chase_base);
+
+    for (std::size_t c = 0; c < spec.chains.size(); ++c) {
+        const ChainSpec &chain = spec.chains[c];
+        AMNESIAC_ASSERT(chain.chainLen >= 1, "chain needs >= 1 op");
+        AMNESIAC_ASSERT(chain.hotLogWords <= chain.logWords,
+                        "hot subset larger than the array");
+        std::uint64_t words = 1ull << chain.logWords;
+
+        b.li(kVlShift, chain.vlShift);
+        if (chain.nc) {
+            b.li(kAddr, 0);
+            b.ld(kParam, kAddr, static_cast<std::int64_t>(param_addr[c]));
+        }
+
+        // ---- init (produce) loop ----
+        b.li(kIndex, 0);
+        b.li(kBound, words);
+        auto init_top = b.newLabel();
+        b.bind(init_top);
+        b.mov(kChainIn, kIndex);
+        b.alu(Opcode::Shr, kShifted, kChainIn, kVlShift);
+        if (chain.nc)
+            b.alu(Opcode::Mul, kChainVal, kShifted, kParam);
+        else
+            b.alu(Opcode::Add, kChainVal, kShifted, kShifted);
+        for (std::uint32_t i = 1; i < chain.chainLen; ++i)
+            b.alu(chainOp(i - 1), kChainVal, kChainVal, kShifted);
+        b.alu(Opcode::Shl, kAddr, kIndex, kThree);
+        b.st(kAddr, static_cast<std::int64_t>(chain_base[c]), kChainVal);
+        b.alu(Opcode::Add, kIndex, kIndex, kOne);
+        b.blt(kIndex, kBound, init_top);
+
+        // ---- consume loop ----
+        b.li(kConsumeCtr, 0);
+        b.li(kBound, chain.consumes);
+        b.li(kColdThresh, 256 * chain.coldPercent / 100);
+        b.li(kColdMask, words - 1);
+        b.li(kHotMask, (1ull << chain.hotLogWords) - 1);
+        auto consume_top = b.newLabel();
+        b.bind(consume_top);
+        // LCG step and bit extraction.
+        b.alu(Opcode::Mul, kLcgState, kLcgState, kLcgMul);
+        b.alu(Opcode::Add, kLcgState, kLcgState, kLcgAdd);
+        b.alu(Opcode::Shr, kBits, kLcgState, kLcgShift);
+        // Clobber the parameter register: its init-time value is lost
+        // at recomputation time, which is what makes it a
+        // non-recomputable input (§2.2 case ii).
+        b.alu(Opcode::Add, kParam, kBits, kConsumeCtr);
+        // Hot/cold index selection (Table 5 residence mixture).
+        auto cold = b.newLabel();
+        auto merge = b.newLabel();
+        b.alu(Opcode::And, kTmp, kBits, kByteMask);
+        b.blt(kTmp, kColdThresh, cold);
+        b.alu(Opcode::And, kIndex, kBits, kHotMask);
+        b.jmp(merge);
+        b.bind(cold);
+        b.alu(Opcode::And, kIndex, kBits, kColdMask);
+        b.bind(merge);
+        // Re-produce the index — and its shifted form — into the
+        // producer's input registers, as a consumer computing its own
+        // index transform naturally would: the slice's index operands
+        // become provably Live (no REC, §2.2).
+        b.mov(kChainIn, kIndex);
+        b.alu(Opcode::Shr, kShifted, kChainIn, kVlShift);
+        b.alu(Opcode::Shl, kAddr, kIndex, kThree);
+        // The swap target: ld value, [index*8 + base].
+        b.ld(kLoaded, kAddr, static_cast<std::int64_t>(chain_base[c]));
+        b.alu(Opcode::Xor, kAcc, kAcc, kLoaded);
+        if (chain.neighborLoad) {
+            // Stencil-style companion access at a data-dependent offset
+            // of 8..32 words: the varying offset makes its backward
+            // slice shape unstable, so the compiler leaves it a plain
+            // load, and its fills keep the working set warm. The offset
+            // deliberately lands on a different cache line, so a
+            // recomputed (fill-skipping) swapped load does not simply
+            // shift its miss onto this one (see ChainSpec).
+            b.alu(Opcode::And, kTmp, kBits, kThree);
+            b.alu(Opcode::Add, kTmp, kTmp, kOne);
+            b.alu(Opcode::Shl, kTmp, kTmp, kThree);
+            b.alu(Opcode::Add, kTmp, kTmp, kIndex);
+            b.alu(Opcode::And, kTmp, kTmp, kColdMask);
+            b.alu(Opcode::Shl, kTmp, kTmp, kThree);
+            b.ld(kUVal, kTmp, static_cast<std::int64_t>(chain_base[c]));
+            b.alu(Opcode::Xor, kAcc, kAcc, kUVal);
+        }
+
+        // Background, unswappable work (archetype C).
+        for (std::uint32_t u = 0; u < spec.untrackedLoadsPerIter; ++u) {
+            b.alu(Opcode::And, kTmp, kBits, kUMask);
+            b.alu(Opcode::Shl, kTmp, kTmp, kThree);
+            b.ld(kUVal, kTmp,
+                 static_cast<std::int64_t>(u_base + 8 * u));
+            b.alu(Opcode::Xor, kAcc, kAcc, kUVal);
+        }
+        for (std::uint32_t h = 0; h < spec.chaseLoadsPerIter; ++h) {
+            b.ld(kChasePtr, kChasePtr, 0);
+            b.alu(Opcode::Xor, kAcc, kAcc, kChasePtr);
+        }
+        for (std::uint32_t f = 0; f < spec.fillerAluPerIter; ++f)
+            b.alu(Opcode::Add, kTmp, kTmp, kOne);
+        if (spec.outStoreLogInterval < 64) {
+            auto skip = b.newLabel();
+            b.alu(Opcode::And, kOutAddr, kConsumeCtr, kOutIval);
+            b.bne(kOutAddr, kZero, skip);
+            b.alu(Opcode::And, kOutAddr, kConsumeCtr, kOutMask);
+            b.alu(Opcode::Shl, kOutAddr, kOutAddr, kThree);
+            b.st(kOutAddr, static_cast<std::int64_t>(out_base), kAcc);
+            b.bind(skip);
+        }
+        b.alu(Opcode::Add, kConsumeCtr, kConsumeCtr, kOne);
+        b.blt(kConsumeCtr, kBound, consume_top);
+    }
+    b.halt();
+
+    Workload workload;
+    workload.name = spec.name;
+    workload.description = spec.description;
+    workload.program = b.finish();
+    return workload;
+}
+
+}  // namespace amnesiac

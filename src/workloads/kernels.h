@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Parameterized kernel archetypes from which every benchmark mimic is
+ * composed. Each kernel is a produce/consume pair per "chain":
+ *
+ *  - init loop: for every index j of an array, compute a value through
+ *    a chain of ALU ops on (a value-locality-shaped function of) j —
+ *    optionally mixed with a runtime parameter loaded from read-only
+ *    input memory (the §2.2 non-recomputable case) — and store it;
+ *  - consume loop: pick indexes (hot-subset / full-array mixture, which
+ *    sets the Table 5 residence profile), recompute the index into the
+ *    same register the producer used, and load the element. These loads
+ *    are the amnesic compiler's swap targets: their backward slices are
+ *    exactly the chain, with the index operand provably Live and the
+ *    parameter operand (if any) only reachable through Hist.
+ *
+ * Background (non-recomputable) work — read-only loads, pointer
+ * chasing, output stores, ALU filler — dilutes the swapped loads to hit
+ * each benchmark's published instruction/energy mix (Table 4).
+ */
+
+#ifndef AMNESIAC_WORKLOADS_KERNELS_H
+#define AMNESIAC_WORKLOADS_KERNELS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace amnesiac {
+
+/** One produce/consume chain — one swapped static load site. */
+struct ChainSpec
+{
+    /** Recurrence ALU ops in the producing chain; the resulting RSlice
+     * has about chainLen+1 instructions (Fig 6 knob). */
+    std::uint32_t chainLen = 4;
+    /** Mix in a runtime parameter loaded from read-only input: the
+     * slice then has a non-recomputable (Hist) leaf input and RECs in
+     * the init loop (Fig 7 knob). */
+    bool nc = false;
+    /** log2 of the array size in 8-byte words (residence knob: <=12
+     * fits L1, <=16 fits L2, >=17 spills to memory). */
+    std::uint32_t logWords = 12;
+    /** log2 of the hot subset the consumer favours. */
+    std::uint32_t hotLogWords = 9;
+    /** Percent of consume iterations that index the full array instead
+     * of the hot subset (Table 5 residence mixture, 0..100). */
+    std::uint32_t coldPercent = 100;
+    /** Right-shift applied to the index before the chain: collapses the
+     * value codomain and drives load value locality up (Fig 8 knob). */
+    std::uint32_t vlShift = 0;
+    /** Consume-loop iterations (dynamic swapped loads of this site). */
+    std::uint32_t consumes = 20000;
+    /**
+     * Also load the neighbouring element (index+1) each iteration, as a
+     * stencil would. The neighbour load is rejected by the compiler's
+     * dry-run validation (its slice recomputes f(index), not
+     * f(index+1), mismatching at hot-subset boundaries), so it stays a
+     * plain load — and its cache fills keep the array warm even when
+     * the swapped load recomputes, breaking the no-fill feedback loop.
+     */
+    bool neighborLoad = false;
+};
+
+/** Whole-workload composition. */
+struct WorkloadSpec
+{
+    std::string name = "kernel";
+    std::string description;
+    std::vector<ChainSpec> chains;
+    /** Read-only (unswappable) loads per consume iteration. */
+    std::uint32_t untrackedLoadsPerIter = 0;
+    /** log2 words of the read-only array those loads walk. */
+    std::uint32_t untrackedLogWords = 12;
+    /** Pointer-chase loads per consume iteration (0 disables); the
+     * chase ring is read-only, hence unswappable, and sized by
+     * chaseLogWords (>=17 makes it memory-bound, mcf-style). */
+    std::uint32_t chaseLoadsPerIter = 0;
+    std::uint32_t chaseLogWords = 17;
+    /** Plain ALU filler ops per consume iteration (non-mem share). */
+    std::uint32_t fillerAluPerIter = 0;
+    /** Store the accumulator every 2^k iterations (0 = every, 255 =
+     * never). */
+    std::uint32_t outStoreLogInterval = 255;
+    /** log2 words of the streamed output buffer (store-energy knob). */
+    std::uint32_t outLogWords = 8;
+    /** RNG seed for input data and the in-program LCG constants. */
+    std::uint64_t seed = 1;
+};
+
+/** Materialize a workload from its spec. */
+Workload buildWorkload(const WorkloadSpec &spec);
+
+/** Reference value of chain `c`'s element `j` (for functional tests):
+ * what the produce loop stores into array word j. */
+std::uint64_t chainReferenceValue(const WorkloadSpec &spec, std::size_t c,
+                                  std::uint64_t j);
+
+}  // namespace amnesiac
+
+#endif  // AMNESIAC_WORKLOADS_KERNELS_H

@@ -1,0 +1,72 @@
+#include "workloads/registry.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "workloads/paper_suite.h"
+
+namespace amnesiac {
+
+namespace {
+
+/** Generic kernels shipped alongside the paper suite. */
+WorkloadSpec
+genericSpec(const std::string &name, std::uint64_t seed)
+{
+    WorkloadSpec s;
+    s.name = name;
+    s.seed = seed;
+    if (name == "stream-recompute") {
+        s.description = "single L2-resident chain, REC-free; the "
+                        "simplest profitable recomputation target";
+        s.chains = {{4, false, 15, 9, 100, 0, 20000}};
+    } else if (name == "hist-stress") {
+        s.description = "many nc chains to exercise Hist pressure";
+        s.chains.assign(12, ChainSpec{4, true, 14, 9, 100, 0, 12000});
+    } else if (name == "compute-bound") {
+        s.description = "hot loads drowned in ALU work: the class of "
+                        "benchmark the paper reports as unresponsive";
+        s.chains = {{3, false, 10, 9, 0, 0, 12000}};
+        s.fillerAluPerIter = 40;
+    } else {
+        AMNESIAC_FATAL("unknown workload '" + name + "'");
+    }
+    return s;
+}
+
+const std::vector<std::string> &
+genericNames()
+{
+    static const std::vector<std::string> names = {
+        "stream-recompute", "hist-stress", "compute-bound",
+    };
+    return names;
+}
+
+}  // namespace
+
+std::vector<std::string>
+registeredWorkloads()
+{
+    std::vector<std::string> names = paperBenchmarkNames();
+    names.insert(names.end(), genericNames().begin(), genericNames().end());
+    return names;
+}
+
+Workload
+makeWorkload(const std::string &name, std::uint64_t seed)
+{
+    const auto &paper = paperBenchmarkNames();
+    if (std::find(paper.begin(), paper.end(), name) != paper.end())
+        return makePaperBenchmark(name, seed);
+    return buildWorkload(genericSpec(name, seed));
+}
+
+bool
+isRegisteredWorkload(const std::string &name)
+{
+    auto names = registeredWorkloads();
+    return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+}  // namespace amnesiac

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Name-based lookup of every workload the library ships: the 11 paper
+ * mimics plus a few generic kernels useful for tests and examples.
+ */
+
+#ifndef AMNESIAC_WORKLOADS_REGISTRY_H
+#define AMNESIAC_WORKLOADS_REGISTRY_H
+
+#include <string>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace amnesiac {
+
+/** All registered workload names (paper suite first). */
+std::vector<std::string> registeredWorkloads();
+
+/** Build a registered workload by name (fatal on unknown name). */
+Workload makeWorkload(const std::string &name, std::uint64_t seed = 1);
+
+/** True if the name is registered. */
+bool isRegisteredWorkload(const std::string &name);
+
+}  // namespace amnesiac
+
+#endif  // AMNESIAC_WORKLOADS_REGISTRY_H

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Workload abstraction: a named program with a documented memory-access
+ * characterization, standing in for the paper's SPEC/NAS/PARSEC/Rodinia
+ * inputs (Table 2). See DESIGN.md §2 for why parameterized synthetic
+ * kernels preserve the evaluation's behaviour.
+ */
+
+#ifndef AMNESIAC_WORKLOADS_WORKLOAD_H
+#define AMNESIAC_WORKLOADS_WORKLOAD_H
+
+#include <string>
+
+#include "isa/program.h"
+
+namespace amnesiac {
+
+/** A runnable benchmark instance. */
+struct Workload
+{
+    /** Short name matching the paper's legend (e.g. "mcf"). */
+    std::string name;
+    /** One-line description of the access pattern being mimicked. */
+    std::string description;
+    Program program;
+};
+
+}  // namespace amnesiac
+
+#endif  // AMNESIAC_WORKLOADS_WORKLOAD_H

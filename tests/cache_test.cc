@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the set-associative LRU cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.h"
+
+namespace amnesiac {
+namespace {
+
+CacheConfig
+tinyConfig()
+{
+    // 2 sets x 2 ways x 64B lines = 256B.
+    return CacheConfig{256, 2, 64};
+}
+
+TEST(Cache, GeometryDerivation)
+{
+    Cache cache(tinyConfig());
+    EXPECT_EQ(cache.numSets(), 2u);
+    Cache paper_l1(CacheConfig{32 * 1024, 8, 64});
+    EXPECT_EQ(paper_l1.numSets(), 64u);
+}
+
+TEST(Cache, MissThenHitSameLine)
+{
+    Cache cache(tinyConfig());
+    bool dirty;
+    std::uint64_t victim;
+    EXPECT_FALSE(cache.access(0x100, false, dirty, victim));
+    EXPECT_TRUE(cache.access(0x100, false, dirty, victim));
+    EXPECT_TRUE(cache.access(0x13F, false, dirty, victim));  // same line
+    EXPECT_FALSE(cache.access(0x140, false, dirty, victim));  // next line
+    EXPECT_EQ(cache.stats().hits, 2u);
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    Cache cache(tinyConfig());
+    bool dirty;
+    std::uint64_t victim;
+    // Set 0 holds lines with even line index: 0x000, 0x080, 0x100...
+    cache.access(0x000, false, dirty, victim);
+    cache.access(0x080, false, dirty, victim);  // hmm: set = line & 1
+    // Lines 0 (0x000) and 2 (0x080) map to sets 0 and 0? line=addr/64:
+    // 0x000 -> line 0 (set 0), 0x080 -> line 2 (set 0). Both set 0.
+    cache.access(0x000, false, dirty, victim);  // touch line 0 again
+    cache.access(0x100, false, dirty, victim);  // line 4, set 0: evicts
+    // line 2 (LRU), keeping line 0.
+    EXPECT_TRUE(cache.contains(0x000));
+    EXPECT_FALSE(cache.contains(0x080));
+    EXPECT_TRUE(cache.contains(0x100));
+}
+
+TEST(Cache, DirtyEvictionReportsVictimAddress)
+{
+    Cache cache(tinyConfig());
+    bool dirty;
+    std::uint64_t victim;
+    cache.access(0x000, true, dirty, victim);   // dirty line 0, set 0
+    cache.access(0x080, false, dirty, victim);  // clean line 2, set 0
+    cache.access(0x100, false, dirty, victim);  // evicts dirty line 0
+    EXPECT_TRUE(dirty);
+    EXPECT_EQ(victim, 0x000u);
+    EXPECT_EQ(cache.stats().dirtyEvictions, 1u);
+    // Evicting a clean line reports nothing.
+    cache.access(0x180, false, dirty, victim);  // set 0 again
+    EXPECT_FALSE(dirty);
+}
+
+TEST(Cache, WriteHitMarksLineDirty)
+{
+    Cache cache(tinyConfig());
+    bool dirty;
+    std::uint64_t victim;
+    cache.access(0x000, false, dirty, victim);  // clean fill
+    cache.access(0x008, true, dirty, victim);   // write hit, same line
+    cache.access(0x080, false, dirty, victim);
+    cache.access(0x100, false, dirty, victim);  // evicts line 0
+    EXPECT_TRUE(dirty) << "write-hit must have dirtied the line";
+}
+
+TEST(Cache, ContainsDoesNotPerturbLru)
+{
+    Cache cache(tinyConfig());
+    bool dirty;
+    std::uint64_t victim;
+    cache.access(0x000, false, dirty, victim);
+    cache.access(0x080, false, dirty, victim);
+    // Peek the older line; a real access would make it MRU.
+    EXPECT_TRUE(cache.contains(0x000));
+    cache.access(0x100, false, dirty, victim);
+    // 0x000 must still have been the LRU victim.
+    EXPECT_FALSE(cache.contains(0x000));
+}
+
+TEST(Cache, ResetClearsLinesAndStats)
+{
+    Cache cache(tinyConfig());
+    bool dirty;
+    std::uint64_t victim;
+    cache.access(0x000, true, dirty, victim);
+    cache.reset();
+    EXPECT_FALSE(cache.contains(0x000));
+    EXPECT_EQ(cache.stats().accesses(), 0u);
+}
+
+TEST(Cache, FullAssociativeWorkingSetFits)
+{
+    // 32KB 8-way: 512 lines; a 512-line working set must fully hit on
+    // the second pass.
+    Cache cache(CacheConfig{32 * 1024, 8, 64});
+    bool dirty;
+    std::uint64_t victim;
+    for (std::uint64_t line = 0; line < 512; ++line)
+        cache.access(line * 64, false, dirty, victim);
+    for (std::uint64_t line = 0; line < 512; ++line)
+        EXPECT_TRUE(cache.access(line * 64, false, dirty, victim));
+    EXPECT_EQ(cache.stats().hits, 512u);
+}
+
+}  // namespace
+}  // namespace amnesiac

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Tests for the amnesic compiler pass: selection pipeline, binary
+ * rewriting invariants (§3.1.2), and functional equivalence of the
+ * rewritten binary.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+
+#include "core/amnesic_machine.h"
+#include "core/compiler.h"
+#include "isa/program_builder.h"
+#include "isa/verifier.h"
+
+namespace amnesiac {
+namespace {
+
+/**
+ * Produce/consume kernel with a loop: out[i%4] accumulates consumed
+ * values so functional equivalence is observable in memory.
+ * The produced cell is evicted by a streaming scan, making the
+ * consuming load expensive enough to swap.
+ */
+Program
+swapKernel(int chain_len = 4, int trips = 64)
+{
+    ProgramBuilder b("swap-kernel");
+    std::uint64_t cell = b.allocWords(1);
+    std::uint64_t big = b.allocWords(16 * 1024);  // 128KB eviction buffer
+    std::uint64_t out = b.allocWords(4);
+    b.li(1, cell);
+    b.li(6, 0);                    // i
+    b.li(7, 1);
+    b.li(8, trips);
+    b.li(9, 3);
+    b.li(15, big);
+    b.li(16, 0);                   // scan cursor
+    b.li(17, 64);
+    b.li(18, 16 * 1024 * 8);
+    auto top = b.newLabel();
+    b.bind(top);
+    // produce: v = chain(x) with x = i+1 recomputed by the consumer
+    b.alu(Opcode::Add, 2, 6, 7);
+    b.alu(Opcode::Add, 3, 2, 2);
+    for (int i = 1; i < chain_len; ++i)
+        b.alu(Opcode::Xor, 3, 3, 2);
+    b.st(1, 0, 3);
+    // evict: stride-64 scan over the big buffer
+    auto scan = b.newLabel();
+    b.bind(scan);
+    b.alu(Opcode::Add, 19, 15, 16);
+    b.ld(20, 19);
+    b.alu(Opcode::Add, 16, 16, 17);
+    b.blt(16, 18, scan);
+    b.li(16, 0);
+    // consume: x is still live in r2
+    b.ld(4, 1);
+    // fold into out[i & 3]
+    b.alu(Opcode::And, 10, 6, 9);
+    b.li(11, 3);
+    b.alu(Opcode::Shl, 10, 10, 11);
+    b.li(11, out);
+    b.alu(Opcode::Add, 10, 10, 11);
+    b.ld(12, 10);
+    b.alu(Opcode::Add, 12, 12, 4);
+    b.st(10, 0, 12);
+    b.alu(Opcode::Add, 6, 6, 7);
+    b.blt(6, 8, top);
+    b.halt();
+    return b.finish();
+}
+
+CompilerConfig
+testConfig()
+{
+    CompilerConfig config;
+    config.minSiteCount = 4;
+    return config;
+}
+
+TEST(Compiler, SelectsTheConsumingLoad)
+{
+    Program input = swapKernel();
+    AmnesicCompiler compiler(EnergyModel{}, HierarchyConfig{},
+                             testConfig());
+    CompileResult result = compiler.compile(input);
+    ASSERT_EQ(result.stats.selected, 1u);
+    EXPECT_EQ(result.slices.size(), 1u);
+    EXPECT_EQ(result.slices[0].dryRunMatchRate, 1.0);
+    EXPECT_GT(result.slices[0].profCount, 0u);
+    EXPECT_EQ(result.program.rcmpCount(), 1u);
+    // One load disappeared, replaced by the RCMP.
+    EXPECT_EQ(result.program.loadCount(), input.loadCount() - 1);
+}
+
+TEST(Compiler, RewrittenBinaryIsWellFormed)
+{
+    Program input = swapKernel();
+    AmnesicCompiler compiler(EnergyModel{}, HierarchyConfig{},
+                             testConfig());
+    CompileResult result = compiler.compile(input);
+    auto findings = verifyProgram(result.program);
+    EXPECT_TRUE(findings.empty())
+        << (findings.empty() ? "" : findings.front());
+    EXPECT_EQ(result.program.slices.size(), result.slices.size());
+}
+
+TEST(Compiler, AmnesicExecutionIsFunctionallyEquivalent)
+{
+    Program input = swapKernel(5, 48);
+    EnergyModel energy;
+    AmnesicCompiler compiler(energy, HierarchyConfig{}, testConfig());
+    CompileResult result = compiler.compile(input);
+    ASSERT_GE(result.stats.selected, 1u);
+
+    Machine classic(input, energy);
+    classic.run();
+
+    AmnesicConfig amnesic_config;
+    amnesic_config.policy = Policy::Compiler;
+    amnesic_config.strictMismatch = true;  // any divergence aborts
+    AmnesicMachine amnesic(result.program, energy, amnesic_config);
+    amnesic.run();
+    EXPECT_GT(amnesic.stats().recomputations, 0u);
+    EXPECT_EQ(amnesic.stats().recomputeMismatches, 0u);
+
+    // The observable output region must match word for word.
+    std::uint64_t out_base = (1 + 16 * 1024) * 8;
+    for (std::uint64_t w = 0; w < 4; ++w)
+        EXPECT_EQ(amnesic.peekWord(out_base + w * 8),
+                  classic.peekWord(out_base + w * 8));
+}
+
+TEST(Compiler, ColdSitesAreIgnored)
+{
+    Program input = swapKernel(4, 64);
+    CompilerConfig config = testConfig();
+    config.minSiteCount = 1000000;  // everything is cold now
+    AmnesicCompiler compiler(EnergyModel{}, HierarchyConfig{}, config);
+    CompileResult result = compiler.compile(input);
+    EXPECT_EQ(result.stats.selected, 0u);
+    EXPECT_GT(result.stats.rejectedCold, 0u);
+    EXPECT_EQ(result.program.rcmpCount(), 0u);
+}
+
+TEST(Compiler, ProfitabilityFilterRejectsWhenMarginImpossible)
+{
+    Program input = swapKernel();
+    CompilerConfig config = testConfig();
+    config.profitabilityMargin = 1e-6;  // nothing can be profitable
+    AmnesicCompiler compiler(EnergyModel{}, HierarchyConfig{}, config);
+    CompileResult result = compiler.compile(input);
+    EXPECT_EQ(result.stats.selected, 0u);
+    EXPECT_GT(result.stats.rejectedNoSlice + result.stats.rejectedEnergy,
+              0u);
+}
+
+TEST(Compiler, OracleSetSkipsEnergyFilter)
+{
+    Program input = swapKernel();
+    CompilerConfig config = testConfig();
+    config.profitabilityMargin = 1e-6;
+    config.oracleSet = true;  // §5.1: the runtime oracle decides
+    AmnesicCompiler compiler(EnergyModel{}, HierarchyConfig{}, config);
+    CompileResult result = compiler.compile(input);
+    EXPECT_GE(result.stats.selected, 1u);
+}
+
+TEST(Compiler, BranchTargetsSurviveRewriting)
+{
+    // The rewritten loop must still iterate the same number of times:
+    // compare dynamic instruction paths via the store count.
+    Program input = swapKernel(4, 32);
+    EnergyModel energy;
+    AmnesicCompiler compiler(energy, HierarchyConfig{}, testConfig());
+    CompileResult result = compiler.compile(input);
+    Machine classic(input, energy);
+    classic.run();
+    AmnesicConfig amnesic_config;
+    amnesic_config.policy = Policy::LLC;  // mostly falls back: near-classic
+    AmnesicMachine amnesic(result.program, energy, amnesic_config);
+    amnesic.run();
+    EXPECT_EQ(amnesic.stats().dynStores, classic.stats().dynStores);
+}
+
+TEST(Compiler, RejectsAlreadyCompiledBinary)
+{
+    Program input = swapKernel();
+    AmnesicCompiler compiler(EnergyModel{}, HierarchyConfig{},
+                             testConfig());
+    CompileResult result = compiler.compile(input);
+    ASSERT_GE(result.stats.selected, 1u);
+    EXPECT_EXIT(
+        {
+            AmnesicCompiler again(EnergyModel{}, HierarchyConfig{},
+                                  testConfig());
+            again.compile(result.program);
+        },
+        ::testing::KilledBySignal(SIGABRT), "already contains slices");
+}
+
+TEST(Compiler, BranchesToALeafOriginalExecuteItsRec)
+{
+    // A REC whose leaf original is a loop head must run on every
+    // iteration, not only on fall-through (regression: branch targets
+    // must land on the REC, not skip over it).
+    ProgramBuilder b("loop-head-leaf");
+    std::uint64_t cell = b.allocWords(1);
+    std::uint64_t input_word = b.allocWords(1);
+    b.poke(input_word, 12345);
+    b.li(1, cell);
+    b.li(6, 0);
+    b.li(7, 1);
+    b.li(8, 16);
+    b.li(4, 0);
+    b.ld(2, 4, static_cast<std::int64_t>(input_word));  // nc parameter
+    auto top = b.newLabel();
+    b.bind(top);
+    // The loop HEAD is the producer that needs the checkpoint: its
+    // parameter operand (r2) is clobbered before the swapped load.
+    std::uint32_t mul_pc = b.alu(Opcode::Mul, 3, 6, 2);
+    b.st(1, 0, 3);
+    b.li(2, 0);  // clobber the parameter
+    b.ld(5, 1);  // swap target (cold via no warm reuse? keep simple)
+    b.li(4, 0);
+    b.ld(2, 4, static_cast<std::int64_t>(input_word));  // reload param
+    b.alu(Opcode::Add, 6, 6, 7);
+    b.blt(6, 8, top);  // back-edge targets the producer (mul)
+    b.halt();
+    Program program = b.finish();
+
+    CompilerConfig config = testConfig();
+    config.builder.budgetMargin = 100.0;   // force slice acceptance
+    config.profitabilityMargin = 100.0;
+    AmnesicCompiler compiler(EnergyModel{}, HierarchyConfig{}, config);
+    CompileResult result = compiler.compile(program);
+    ASSERT_GE(result.stats.selected, 1u);
+    ASSERT_GE(result.stats.recInsertions, 1u);
+
+    AmnesicConfig amnesic_config;
+    amnesic_config.policy = Policy::Compiler;
+    amnesic_config.strictMismatch = true;
+    AmnesicMachine machine(result.program, EnergyModel{}, amnesic_config);
+    machine.run();
+    // The REC must have executed on every loop iteration.
+    EXPECT_EQ(machine.stats().histWrites, 16u);
+    EXPECT_EQ(machine.stats().recomputeMismatches, 0u);
+}
+
+TEST(Compiler, StaticRewriteInsertsRecsBeforeHistLeaves)
+{
+    Program input = swapKernel();
+    AmnesicCompiler compiler(EnergyModel{}, HierarchyConfig{},
+                             testConfig());
+    CompileResult full = compiler.compile(input);
+    ASSERT_EQ(full.slices.size(), 1u);
+
+    // Force a Hist operand onto the slice and re-run the static rewrite.
+    RSlice slice = full.slices[0];
+    slice.instrs[0].ops[0].source = OperandSource::Hist;
+    slice.computeStats();
+    CompileStats stats;
+    Program rewritten =
+        AmnesicCompiler::rewrite(input, {slice}, &stats);
+    EXPECT_EQ(stats.recInsertions, slice.histLeafCount);
+    bool found_rec = false;
+    for (std::uint32_t pc = 0; pc < rewritten.codeEnd; ++pc)
+        found_rec |= rewritten.code[pc].op == Opcode::Rec;
+    EXPECT_TRUE(found_rec);
+    EXPECT_TRUE(isWellFormed(rewritten));
+}
+
+}  // namespace
+}  // namespace amnesiac

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for the §3.1.1 cost model: probabilistic Eld and the Erc
+ * decomposition (instruction mix + Hist reads + RCMP/RTN/REC).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+
+namespace amnesiac {
+namespace {
+
+SiteProfile
+siteWithResidence(std::uint64_t l1, std::uint64_t l2, std::uint64_t mem)
+{
+    SiteProfile site;
+    site.pc = 1;
+    site.count = l1 + l2 + mem;
+    site.byLevel = {l1, l2, mem};
+    return site;
+}
+
+RSlice
+sliceOf(std::initializer_list<Opcode> ops, int hist_operands = 0)
+{
+    RSlice slice;
+    std::uint64_t seq = 0;
+    for (Opcode op : ops) {
+        SliceInstr instr;
+        instr.op = op;
+        instr.numOps = numSources(op);
+        instr.seq = ++seq;
+        for (int k = 0; k < instr.numOps; ++k)
+            instr.ops[k].source = OperandSource::Live;
+        if (hist_operands > 0 && instr.numOps > 0) {
+            instr.ops[0].source = OperandSource::Hist;
+            --hist_operands;
+        }
+        slice.instrs.push_back(instr);
+    }
+    slice.computeStats();
+    return slice;
+}
+
+TEST(CostModel, ProbabilisticEldIsExpectation)
+{
+    EnergyModel energy;
+    CostModel cost(energy);
+    SiteProfile site = siteWithResidence(50, 30, 20);
+    double expected = 0.5 * energy.loadEnergy(MemLevel::L1) +
+                      0.3 * energy.loadEnergy(MemLevel::L2) +
+                      0.2 * energy.loadEnergy(MemLevel::Memory);
+    EXPECT_NEAR(cost.probabilisticLoadEnergy(site), expected, 1e-12);
+}
+
+TEST(CostModel, EldFromExplicitDistribution)
+{
+    EnergyModel energy;
+    CostModel cost(energy);
+    std::array<double, kNumMemLevels> pr = {1.0, 0.0, 0.0};
+    EXPECT_DOUBLE_EQ(cost.loadEnergyFromDistribution(pr),
+                     energy.loadEnergy(MemLevel::L1));
+    pr = {0.0, 0.0, 1.0};
+    EXPECT_DOUBLE_EQ(cost.loadEnergyFromDistribution(pr),
+                     energy.loadEnergy(MemLevel::Memory));
+}
+
+TEST(CostModel, RuntimeErcSumsInstructionMix)
+{
+    EnergyModel energy;
+    CostModel cost(energy);
+    RSlice slice = sliceOf({Opcode::Add, Opcode::Mul, Opcode::Xor});
+    double expected = energy.instrEnergy(InstrCategory::IntAlu) * 2 +
+                      energy.instrEnergy(InstrCategory::IntMul) +
+                      energy.instrEnergy(InstrCategory::Rtn);
+    EXPECT_NEAR(cost.runtimeRecomputeEnergy(slice), expected, 1e-12);
+}
+
+TEST(CostModel, HistReadsChargedPerHistBearingInstruction)
+{
+    EnergyModel energy;
+    CostModel cost(energy);
+    RSlice plain = sliceOf({Opcode::Add, Opcode::Add});
+    RSlice one_hist = sliceOf({Opcode::Add, Opcode::Add}, 1);
+    EXPECT_NEAR(cost.runtimeRecomputeEnergy(one_hist) -
+                    cost.runtimeRecomputeEnergy(plain),
+                energy.histAccessEnergy(), 1e-12);
+}
+
+TEST(CostModel, EstimateAddsRcmpAndAmortizedRec)
+{
+    EnergyModel energy;
+    CostModel cost(energy);
+    RSlice slice = sliceOf({Opcode::Add}, 1);
+    double runtime = cost.runtimeRecomputeEnergy(slice);
+    double est1 = cost.estimatedRecomputeEnergy(slice, 1.0);
+    double est4 = cost.estimatedRecomputeEnergy(slice, 4.0);
+    EXPECT_NEAR(est1 - runtime,
+                energy.instrEnergy(InstrCategory::Rcmp) +
+                    energy.instrEnergy(InstrCategory::Rec),
+                1e-12);
+    EXPECT_NEAR(est4 - est1,
+                3.0 * energy.instrEnergy(InstrCategory::Rec), 1e-12);
+}
+
+TEST(CostModel, LatencyGrowsWithSliceLength)
+{
+    EnergyModel energy;
+    CostModel cost(energy);
+    RSlice small = sliceOf({Opcode::Add});
+    RSlice large = sliceOf({Opcode::Add, Opcode::Add, Opcode::Add,
+                            Opcode::Add});
+    EXPECT_LT(cost.runtimeRecomputeLatency(small),
+              cost.runtimeRecomputeLatency(large));
+}
+
+TEST(CostModel, ErcScalesWithRKnob)
+{
+    // §5.5: as R grows, recomputation gets proportionally pricier while
+    // Eld stays put — the break-even mechanism.
+    EnergyModel base;
+    EnergyModel scaled = base.withNonMemScale(10.0);
+    RSlice slice = sliceOf({Opcode::Add, Opcode::Mul});
+    CostModel cost_base(base);
+    CostModel cost_scaled(scaled);
+    EXPECT_GT(cost_scaled.runtimeRecomputeEnergy(slice),
+              5.0 * cost_base.runtimeRecomputeEnergy(slice));
+    SiteProfile site = siteWithResidence(0, 0, 10);
+    EXPECT_DOUBLE_EQ(cost_base.probabilisticLoadEnergy(site),
+                     cost_scaled.probabilisticLoadEnergy(site));
+}
+
+}  // namespace
+}  // namespace amnesiac

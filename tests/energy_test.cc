@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the energy/latency model: Table 3 defaults, cumulative load
+ * costs, the R knob (§5.5), and the Table 1 technology data.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/epi.h"
+#include "energy/tech.h"
+
+namespace amnesiac {
+namespace {
+
+TEST(EnergyModel, Table3LoadEnergies)
+{
+    EnergyModel m;
+    const double core = m.config().memCoreNj;
+    EXPECT_DOUBLE_EQ(m.loadEnergy(MemLevel::L1), core + 0.88);
+    EXPECT_DOUBLE_EQ(m.loadEnergy(MemLevel::L2), core + 0.88 + 7.72);
+    EXPECT_DOUBLE_EQ(m.loadEnergy(MemLevel::Memory),
+                     core + 0.88 + 7.72 + 52.14);
+}
+
+TEST(EnergyModel, Table3Latencies)
+{
+    EnergyModel m;
+    EXPECT_EQ(m.loadLatency(MemLevel::L1), 4u);
+    EXPECT_EQ(m.loadLatency(MemLevel::L2), 31u);
+    EXPECT_EQ(m.loadLatency(MemLevel::Memory), 140u);
+    EXPECT_EQ(m.storeLatency(MemLevel::L1), 1u);
+}
+
+TEST(EnergyModel, WritebackCosts)
+{
+    EnergyModel m;
+    EXPECT_DOUBLE_EQ(m.writebackEnergy(MemLevel::L2), 7.72);
+    EXPECT_DOUBLE_EQ(m.writebackEnergy(MemLevel::Memory), 62.14);
+}
+
+TEST(EnergyModel, AmnesicOpcodeCosts)
+{
+    // §4: RCMP ~ branch, REC ~ store to L1-D, RTN ~ jump.
+    EnergyModel m;
+    EXPECT_DOUBLE_EQ(m.instrEnergy(InstrCategory::Rcmp), 0.45);
+    EXPECT_DOUBLE_EQ(m.instrEnergy(InstrCategory::Rtn), 0.45);
+    EXPECT_DOUBLE_EQ(m.instrEnergy(InstrCategory::Rec),
+                     m.config().memCoreNj + 0.88);
+    EXPECT_DOUBLE_EQ(m.histAccessEnergy(), 0.88);
+}
+
+TEST(EnergyModel, ProbeCostsAreCumulative)
+{
+    EnergyModel m;
+    EXPECT_DOUBLE_EQ(m.probeEnergy(MemLevel::L1), 0.88);
+    EXPECT_DOUBLE_EQ(m.probeEnergy(MemLevel::L2), 0.88 + 7.72);
+    EXPECT_LT(m.probeLatency(MemLevel::L1), m.probeLatency(MemLevel::L2));
+}
+
+TEST(EnergyModel, RKnobScalesOnlyNonMemory)
+{
+    EnergyModel base;
+    EnergyModel scaled = base.withNonMemScale(3.0);
+    EXPECT_DOUBLE_EQ(scaled.instrEnergy(InstrCategory::IntAlu),
+                     3.0 * base.instrEnergy(InstrCategory::IntAlu));
+    EXPECT_DOUBLE_EQ(scaled.instrEnergy(InstrCategory::FpMul),
+                     3.0 * base.instrEnergy(InstrCategory::FpMul));
+    // Memory-side costs do not scale with R.
+    EXPECT_DOUBLE_EQ(scaled.loadEnergy(MemLevel::Memory),
+                     base.loadEnergy(MemLevel::Memory));
+    EXPECT_DOUBLE_EQ(scaled.histAccessEnergy(), base.histAccessEnergy());
+    EXPECT_DOUBLE_EQ(scaled.ratioR(), 3.0 * base.ratioR());
+}
+
+TEST(EnergyModel, DefaultRMatchesPaper)
+{
+    // §5.5: R_default = 0.45 / 52.14 ~ 0.0086 (the paper normalizes the
+    // ALU EPI against the DRAM-read energy alone).
+    EnergyModel m;
+    EXPECT_NEAR(0.45 / 52.14, 0.0086, 0.0002);
+    // Our ratioR uses the full end-to-end load cost; same order.
+    EXPECT_NEAR(m.ratioR(), 0.45 / m.loadEnergy(MemLevel::Memory), 1e-12);
+}
+
+TEST(EnergyModel, CyclesToSeconds)
+{
+    EnergyModel m;
+    EXPECT_NEAR(m.cyclesToSeconds(1090000000ull), 1.0, 1e-9);
+}
+
+TEST(Tech, Table1NormalizedRatios)
+{
+    const auto &nodes = table1Nodes();
+    ASSERT_EQ(nodes.size(), 3u);
+    EXPECT_NEAR(nodes[0].sramOverFma(), 1.55, 0.01);
+    EXPECT_NEAR(nodes[1].sramOverFma(), 5.75, 0.01);
+    EXPECT_NEAR(nodes[2].sramOverFma(), 5.77, 0.01);
+}
+
+TEST(Tech, OffChipFactorExceeds50xAt40nm)
+{
+    // §1: "off-chip communication to main memory requires more than 50x
+    // computation energy even at 40nm".
+    EXPECT_GT(table1Nodes()[0].dramOverFma(), 50.0);
+}
+
+TEST(Tech, ProjectionEndpointsAndMonotonicity)
+{
+    EXPECT_NEAR(projectSramOverFma(40.0), 1.55, 1e-9);
+    EXPECT_NEAR(projectSramOverFma(10.0), 5.76, 1e-9);
+    double prev = projectSramOverFma(40.0);
+    for (double nm = 35.0; nm >= 10.0; nm -= 5.0) {
+        double r = projectSramOverFma(nm);
+        EXPECT_GT(r, prev);
+        prev = r;
+    }
+}
+
+}  // namespace
+}  // namespace amnesiac

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the two-level memory hierarchy: service levels, write-back
+ * propagation, probes, and peeks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/hierarchy.h"
+
+namespace amnesiac {
+namespace {
+
+HierarchyConfig
+tinyHierarchy()
+{
+    // L1: 256B 2-way; L2: 1KB 2-way.
+    return HierarchyConfig{{256, 2, 64}, {1024, 2, 64}};
+}
+
+TEST(Hierarchy, ColdReadServicedByMemoryThenCaches)
+{
+    MemoryHierarchy mem(tinyHierarchy());
+    EXPECT_EQ(mem.read(0x0).servicedBy, MemLevel::Memory);
+    EXPECT_EQ(mem.read(0x0).servicedBy, MemLevel::L1);
+    EXPECT_EQ(mem.readsBy()[static_cast<int>(MemLevel::Memory)], 1u);
+    EXPECT_EQ(mem.readsBy()[static_cast<int>(MemLevel::L1)], 1u);
+}
+
+TEST(Hierarchy, L1EvictionLeavesLineInL2)
+{
+    MemoryHierarchy mem(tinyHierarchy());
+    // Fill L1 set 0 (2 ways) with three lines mapping to the same set:
+    // line indexes 0, 2, 4 (L1 has 2 sets).
+    mem.read(0 * 64);
+    mem.read(2 * 64);
+    mem.read(4 * 64);  // evicts line 0 from L1
+    EXPECT_EQ(mem.peekLevel(0 * 64), MemLevel::L2);
+    EXPECT_EQ(mem.read(0 * 64).servicedBy, MemLevel::L2);
+}
+
+TEST(Hierarchy, DirtyL1VictimWritesBackToL2)
+{
+    MemoryHierarchy mem(tinyHierarchy());
+    mem.write(0 * 64);   // dirty in L1
+    mem.read(2 * 64);
+    HierarchyAccess access = mem.read(4 * 64);  // evicts dirty line 0
+    EXPECT_TRUE(access.l1Writeback);
+}
+
+TEST(Hierarchy, PeekDoesNotChangeState)
+{
+    MemoryHierarchy mem(tinyHierarchy());
+    EXPECT_EQ(mem.peekLevel(0x40), MemLevel::Memory);
+    EXPECT_EQ(mem.peekLevel(0x40), MemLevel::Memory);
+    mem.read(0x40);
+    EXPECT_EQ(mem.peekLevel(0x40), MemLevel::L1);
+}
+
+TEST(Hierarchy, ProbeMatchesLevelOccupancy)
+{
+    MemoryHierarchy mem(tinyHierarchy());
+    mem.read(0 * 64);
+    mem.read(2 * 64);
+    mem.read(4 * 64);  // line 0 now only in L2
+    EXPECT_FALSE(mem.probe(MemLevel::L1, 0));
+    EXPECT_TRUE(mem.probe(MemLevel::L2, 0));
+    EXPECT_TRUE(mem.probe(MemLevel::Memory, 0));
+}
+
+TEST(Hierarchy, WriteAllocates)
+{
+    MemoryHierarchy mem(tinyHierarchy());
+    EXPECT_EQ(mem.write(0x80).servicedBy, MemLevel::Memory);
+    EXPECT_EQ(mem.write(0x80).servicedBy, MemLevel::L1);
+    EXPECT_EQ(mem.writesBy()[static_cast<int>(MemLevel::L1)], 1u);
+}
+
+TEST(Hierarchy, ResetRestoresColdState)
+{
+    MemoryHierarchy mem(tinyHierarchy());
+    mem.read(0x0);
+    mem.reset();
+    EXPECT_EQ(mem.peekLevel(0x0), MemLevel::Memory);
+    EXPECT_EQ(mem.readsBy()[0] + mem.readsBy()[1] + mem.readsBy()[2], 0u);
+}
+
+TEST(Hierarchy, LevelNames)
+{
+    EXPECT_EQ(memLevelName(MemLevel::L1), "L1");
+    EXPECT_EQ(memLevelName(MemLevel::L2), "L2");
+    EXPECT_EQ(memLevelName(MemLevel::Memory), "Memory");
+}
+
+}  // namespace
+}  // namespace amnesiac

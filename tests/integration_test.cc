@@ -1,0 +1,151 @@
+/**
+ * @file
+ * End-to-end integration tests over the paper-benchmark mimics: the
+ * full profile → compile → simulate pipeline must hold the paper's
+ * headline invariants on real (if scaled-down) workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/verifier.h"
+#include "report/experiment.h"
+#include "workloads/paper_suite.h"
+
+namespace amnesiac {
+namespace {
+
+/** Scale a paper spec down so integration stays fast. */
+Workload
+scaledBenchmark(const std::string &name)
+{
+    WorkloadSpec spec = paperBenchmarkSpec(name);
+    for (ChainSpec &chain : spec.chains) {
+        chain.consumes = std::max<std::uint32_t>(chain.consumes / 8, 2000);
+        if (chain.logWords > 14) {
+            // Shrink giant arrays: keeps init phases short while the
+            // structure (chains, sourcing, REC placement) is identical.
+            chain.logWords = 14;
+            chain.coldPercent = std::min(chain.coldPercent, 60u);
+        }
+    }
+    if (spec.chaseLogWords > 13)
+        spec.chaseLogWords = 13;
+    if (spec.untrackedLogWords > 13)
+        spec.untrackedLogWords = 13;
+    spec.name = name + "-scaled";
+    return buildWorkload(spec);
+}
+
+TEST(Integration, EveryMimicCompilesToAWellFormedBinary)
+{
+    ExperimentConfig config;
+    for (const std::string &name : paperBenchmarkNames()) {
+        Workload w = scaledBenchmark(name);
+        AmnesicCompiler compiler(EnergyModel{config.energy},
+                                 config.hierarchy, config.compiler);
+        CompileResult result = compiler.compile(w.program);
+        auto findings = verifyProgram(result.program);
+        EXPECT_TRUE(findings.empty())
+            << name << ": " << (findings.empty() ? "" : findings.front());
+    }
+}
+
+TEST(Integration, RecomputedValuesAlwaysMatch)
+{
+    // The compiler's validation plus strict shadow-checking: no
+    // recomputation may ever produce a wrong value, on any mimic,
+    // under the always-fire policy.
+    ExperimentConfig config;
+    config.amnesic.strictMismatch = true;
+    config.amnesic.policy = Policy::Compiler;
+    for (const std::string &name : paperBenchmarkNames()) {
+        Workload w = scaledBenchmark(name);
+        AmnesicCompiler compiler(EnergyModel{config.energy},
+                                 config.hierarchy, config.compiler);
+        CompileResult result = compiler.compile(w.program);
+        AmnesicMachine machine(result.program, EnergyModel{config.energy},
+                               config.amnesic, config.hierarchy);
+        machine.run();
+        EXPECT_EQ(machine.stats().recomputeMismatches, 0u) << name;
+        EXPECT_EQ(machine.stats().recomputeChecked,
+                  machine.stats().recomputations)
+            << name;
+    }
+}
+
+TEST(Integration, AmnesicRunsPreserveArchitecturalResults)
+{
+    // Final data memory must be bit-identical between classic and
+    // amnesic execution (stores are unchanged; only load servicing
+    // differs).
+    ExperimentConfig config;
+    for (const char *name : {"mcf", "is", "sr"}) {
+        Workload w = scaledBenchmark(name);
+        Machine classic(w.program, EnergyModel{config.energy},
+                        config.hierarchy);
+        classic.run();
+        AmnesicCompiler compiler(EnergyModel{config.energy},
+                                 config.hierarchy, config.compiler);
+        CompileResult result = compiler.compile(w.program);
+        AmnesicConfig amnesic_config = config.amnesic;
+        amnesic_config.policy = Policy::Compiler;
+        AmnesicMachine amnesic(result.program, EnergyModel{config.energy},
+                               amnesic_config, config.hierarchy);
+        amnesic.run();
+        for (std::uint64_t w8 = 0; w8 < w.program.dataImage.size();
+             w8 += 97)
+            EXPECT_EQ(amnesic.peekWord(w8 * 8), classic.peekWord(w8 * 8))
+                << name << " word " << w8;
+    }
+}
+
+TEST(Integration, SwappedLoadsReduceDynamicLoadCount)
+{
+    // Table 4's headline: amnesic execution trades loads for
+    // instructions.
+    ExperimentRunner runner;
+    Workload w = scaledBenchmark("is");
+    BenchmarkResult result = runner.run(w, {Policy::Compiler});
+    const PolicyOutcome *outcome = result.byPolicy(Policy::Compiler);
+    ASSERT_NE(outcome, nullptr);
+    EXPECT_LT(outcome->stats.dynLoads, result.classic.dynLoads);
+    EXPECT_GT(outcome->stats.dynInstrs, result.classic.dynInstrs);
+    EXPECT_GT(outcome->stats.recomputations, 0u);
+}
+
+TEST(Integration, StorageStaysWithinPaperBounds)
+{
+    // §3.4: SFile demand is bounded by slice length; Hist by the leaf
+    // population ("a design of no more than 600 entries suffices").
+    ExperimentConfig config;
+    for (const char *name : {"sx", "fs", "mcf"}) {
+        Workload w = scaledBenchmark(name);
+        AmnesicCompiler compiler(EnergyModel{config.energy},
+                                 config.hierarchy, config.compiler);
+        CompileResult result = compiler.compile(w.program);
+        AmnesicConfig amnesic_config = config.amnesic;
+        amnesic_config.policy = Policy::Compiler;
+        AmnesicMachine machine(result.program, EnergyModel{config.energy},
+                               amnesic_config, config.hierarchy);
+        machine.run();
+        EXPECT_EQ(machine.sfile().overflows(), 0u) << name;
+        EXPECT_LE(machine.sfile().highWater(),
+                  config.compiler.builder.maxInstrs)
+            << name;
+        EXPECT_LE(machine.hist().highWater(), 600u) << name;
+        EXPECT_EQ(machine.stats().histOverflows, 0u) << name;
+    }
+}
+
+TEST(Integration, OracleSetIsASuperset)
+{
+    ExperimentRunner runner;
+    Workload w = scaledBenchmark("sx");
+    BenchmarkResult result =
+        runner.run(w, {Policy::Oracle, Policy::COracle});
+    EXPECT_GE(result.oracleCompiled.slices.size(),
+              result.compiled.slices.size());
+}
+
+}  // namespace
+}  // namespace amnesiac

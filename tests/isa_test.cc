@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for the ISA substrate: opcode metadata, program builder
+ * label resolution, data-image management, and the disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/disasm.h"
+#include "isa/program_builder.h"
+
+namespace amnesiac {
+namespace {
+
+TEST(Opcode, CategoryMapping)
+{
+    EXPECT_EQ(categoryOf(Opcode::Add), InstrCategory::IntAlu);
+    EXPECT_EQ(categoryOf(Opcode::Mul), InstrCategory::IntMul);
+    EXPECT_EQ(categoryOf(Opcode::Fdiv), InstrCategory::FpDiv);
+    EXPECT_EQ(categoryOf(Opcode::Ld), InstrCategory::Load);
+    EXPECT_EQ(categoryOf(Opcode::St), InstrCategory::Store);
+    EXPECT_EQ(categoryOf(Opcode::Rcmp), InstrCategory::Rcmp);
+    EXPECT_EQ(categoryOf(Opcode::Rec), InstrCategory::Rec);
+    EXPECT_EQ(categoryOf(Opcode::Rtn), InstrCategory::Rtn);
+}
+
+TEST(Opcode, SourceAndDestCounts)
+{
+    EXPECT_EQ(numSources(Opcode::Li), 0);
+    EXPECT_EQ(numSources(Opcode::Mov), 1);
+    EXPECT_EQ(numSources(Opcode::Add), 2);
+    EXPECT_EQ(numSources(Opcode::Ld), 1);
+    EXPECT_EQ(numSources(Opcode::Rcmp), 1);
+    EXPECT_TRUE(hasDest(Opcode::Ld));
+    EXPECT_FALSE(hasDest(Opcode::St));
+    EXPECT_FALSE(hasDest(Opcode::Rec));
+    EXPECT_TRUE(hasDest(Opcode::Rcmp));
+}
+
+TEST(Opcode, SliceabilityExcludesMemoryAndControlFlow)
+{
+    // §3.4: slices carry register-to-register producers only.
+    EXPECT_TRUE(isSliceable(Opcode::Add));
+    EXPECT_TRUE(isSliceable(Opcode::Li));
+    EXPECT_TRUE(isSliceable(Opcode::Fmul));
+    EXPECT_FALSE(isSliceable(Opcode::Ld));
+    EXPECT_FALSE(isSliceable(Opcode::St));
+    EXPECT_FALSE(isSliceable(Opcode::Beq));
+    EXPECT_FALSE(isSliceable(Opcode::Rcmp));
+}
+
+TEST(Opcode, EveryOpcodeHasMnemonicAndCategory)
+{
+    for (int op = 0; op < static_cast<int>(Opcode::NumOpcodes); ++op) {
+        EXPECT_FALSE(mnemonic(static_cast<Opcode>(op)).empty());
+        categoryOf(static_cast<Opcode>(op));  // must not panic
+    }
+}
+
+TEST(ProgramBuilder, ForwardAndBackwardLabels)
+{
+    ProgramBuilder b("labels");
+    auto head = b.newLabel();
+    auto exit = b.newLabel();
+    b.bind(head);                    // @0
+    std::uint32_t branch = b.beq(1, 2, exit);
+    b.jmp(head);
+    b.bind(exit);
+    std::uint32_t halt_pc = b.halt();
+    Program p = b.finish();
+    EXPECT_EQ(p.code[branch].target, halt_pc);
+    EXPECT_EQ(p.code[branch + 1].target, 0u);
+    EXPECT_EQ(p.codeEnd, p.code.size());
+}
+
+TEST(ProgramBuilder, DataAllocationAndPoke)
+{
+    ProgramBuilder b("data");
+    std::uint64_t a = b.allocWords(4);
+    std::uint64_t c = b.allocWords(2);
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(c, 32u);  // byte address after 4 words
+    b.poke(c + 8, 99);
+    b.halt();
+    Program p = b.finish();
+    ASSERT_EQ(p.dataImage.size(), 6u);
+    EXPECT_EQ(p.dataImage[5], 99u);
+    EXPECT_EQ(p.memBytes(), 48u);
+}
+
+TEST(ProgramBuilder, LifBitCastsDoubles)
+{
+    ProgramBuilder b("fp");
+    b.lif(3, 1.5);
+    b.halt();
+    Program p = b.finish();
+    EXPECT_EQ(p.code[0].op, Opcode::Li);
+    EXPECT_EQ(std::bit_cast<double>(
+                  static_cast<std::uint64_t>(p.code[0].imm)),
+              1.5);
+}
+
+TEST(Program, RcmpAndLoadCounts)
+{
+    ProgramBuilder b("counts");
+    b.li(1, 0);
+    b.ld(2, 1);
+    b.ld(3, 1, 8);
+    b.halt();
+    Program p = b.finish();
+    EXPECT_EQ(p.loadCount(), 2u);
+    EXPECT_EQ(p.rcmpCount(), 0u);
+    EXPECT_FALSE(p.inSliceRegion(0));
+    EXPECT_FALSE(p.sliceById(0).has_value());
+}
+
+TEST(Disasm, CoversRepresentativeEncodings)
+{
+    ProgramBuilder b("disasm");
+    b.li(1, 7);
+    b.alu(Opcode::Add, 2, 1, 1);
+    b.ld(3, 1, 16);
+    b.st(1, 8, 3);
+    auto l = b.newLabel();
+    b.bind(l);
+    b.blt(1, 2, l);
+    b.halt();
+    Program p = b.finish();
+    std::string text = disassemble(p);
+    EXPECT_NE(text.find("li r1, 7"), std::string::npos);
+    EXPECT_NE(text.find("add r2, r1, r1"), std::string::npos);
+    EXPECT_NE(text.find("ld r3, [r1+16]"), std::string::npos);
+    EXPECT_NE(text.find("st [r1+8], r3"), std::string::npos);
+    EXPECT_NE(text.find("blt"), std::string::npos);
+    EXPECT_NE(text.find("halt"), std::string::npos);
+}
+
+TEST(Disasm, SliceOperandAnnotations)
+{
+    Instruction instr;
+    instr.op = Opcode::Mul;
+    instr.rd = 12;
+    instr.rs1 = 14;
+    instr.rs2 = 11;
+    instr.src1 = OperandSource::Slice;
+    instr.src2 = OperandSource::Hist;
+    std::string text = disassemble(instr, /*in_slice=*/true);
+    EXPECT_NE(text.find("s(r14)"), std::string::npos);
+    EXPECT_NE(text.find("hist"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace amnesiac

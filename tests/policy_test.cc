@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Tests for the policy enumeration helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/policy.h"
+
+namespace amnesiac {
+namespace {
+
+TEST(Policy, NamesMatchPaperLegends)
+{
+    EXPECT_EQ(policyName(Policy::Oracle), "Oracle");
+    EXPECT_EQ(policyName(Policy::COracle), "C-Oracle");
+    EXPECT_EQ(policyName(Policy::Compiler), "Compiler");
+    EXPECT_EQ(policyName(Policy::FLC), "FLC");
+    EXPECT_EQ(policyName(Policy::LLC), "LLC");
+}
+
+TEST(Policy, AllPoliciesInPlottingOrder)
+{
+    ASSERT_EQ(std::size(kAllPolicies), 5u);
+    EXPECT_EQ(kAllPolicies[0], Policy::Oracle);
+    EXPECT_EQ(kAllPolicies[4], Policy::LLC);
+}
+
+TEST(Policy, OnlyOracleNeedsTheOracleSet)
+{
+    EXPECT_TRUE(needsOracleSet(Policy::Oracle));
+    EXPECT_FALSE(needsOracleSet(Policy::COracle));
+    EXPECT_FALSE(needsOracleSet(Policy::Compiler));
+    EXPECT_FALSE(needsOracleSet(Policy::FLC));
+    EXPECT_FALSE(needsOracleSet(Policy::LLC));
+}
+
+}  // namespace
+}  // namespace amnesiac

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the §3.3.1 future-work miss predictor and its policy: the
+ * predictor must learn per-site behaviour, and the Predictor policy
+ * must track FLC's decisions while skipping the probe cost.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/amnesic_machine.h"
+#include "core/compiler.h"
+#include "core/uarch.h"
+#include "isa/program_builder.h"
+
+namespace amnesiac {
+namespace {
+
+TEST(MissPredictor, ColdPredictorLeansMiss)
+{
+    MissPredictor predictor(4);
+    EXPECT_TRUE(predictor.predictMiss(123));
+}
+
+TEST(MissPredictor, LearnsHitsAndMisses)
+{
+    MissPredictor predictor(6);
+    for (int i = 0; i < 4; ++i)
+        predictor.train(10, false);
+    EXPECT_FALSE(predictor.predictMiss(10));
+    for (int i = 0; i < 4; ++i)
+        predictor.train(10, true);
+    EXPECT_TRUE(predictor.predictMiss(10));
+}
+
+TEST(MissPredictor, HysteresisAbsorbsOneOffOutcomes)
+{
+    MissPredictor predictor(6);
+    for (int i = 0; i < 4; ++i)
+        predictor.train(10, true);
+    predictor.train(10, false);  // single hit
+    EXPECT_TRUE(predictor.predictMiss(10)) << "2-bit counter hysteresis";
+}
+
+TEST(MissPredictor, SitesAreIndependentModuloAliasing)
+{
+    MissPredictor predictor(10);
+    for (int i = 0; i < 4; ++i) {
+        predictor.train(100, false);
+        predictor.train(2000, true);
+    }
+    EXPECT_FALSE(predictor.predictMiss(100));
+    EXPECT_TRUE(predictor.predictMiss(2000));
+}
+
+TEST(MissPredictor, AccountsMispredictions)
+{
+    MissPredictor predictor(4);
+    predictor.account(true, true);
+    predictor.account(true, false);
+    predictor.account(false, false);
+    EXPECT_EQ(predictor.predictions(), 3u);
+    EXPECT_EQ(predictor.mispredictions(), 1u);
+    EXPECT_NEAR(predictor.mispredictionRate(), 1.0 / 3.0, 1e-12);
+}
+
+/** Produce/consume kernel with an eviction scan (as in compiler_test). */
+Program
+kernel()
+{
+    ProgramBuilder b("pred-kernel");
+    std::uint64_t cell = b.allocWords(1);
+    std::uint64_t big = b.allocWords(16 * 1024);
+    b.li(1, cell);
+    b.li(6, 0);
+    b.li(7, 1);
+    b.li(8, 64);
+    b.li(15, big);
+    b.li(17, 64);
+    b.li(18, 16 * 1024 * 8);
+    auto top = b.newLabel();
+    b.bind(top);
+    b.alu(Opcode::Add, 2, 6, 7);
+    b.alu(Opcode::Add, 3, 2, 2);
+    b.alu(Opcode::Add, 3, 3, 2);
+    b.st(1, 0, 3);
+    b.li(16, 0);
+    auto scan = b.newLabel();
+    b.bind(scan);
+    b.alu(Opcode::Add, 19, 15, 16);
+    b.ld(20, 19);
+    b.alu(Opcode::Add, 16, 16, 17);
+    b.blt(16, 18, scan);
+    b.ld(4, 1);
+    b.alu(Opcode::Add, 6, 6, 7);
+    b.blt(6, 8, top);
+    b.halt();
+    return b.finish();
+}
+
+TEST(PredictorPolicy, MatchesFlcDecisionsWithoutProbeCost)
+{
+    Program input = kernel();
+    EnergyModel energy;
+    CompilerConfig compiler_config;
+    compiler_config.minSiteCount = 4;
+    AmnesicCompiler compiler(energy, HierarchyConfig{}, compiler_config);
+    CompileResult compiled = compiler.compile(input);
+    ASSERT_GE(compiled.stats.selected, 1u);
+
+    AmnesicConfig flc_config;
+    flc_config.policy = Policy::FLC;
+    AmnesicMachine flc(compiled.program, energy, flc_config);
+    flc.run();
+
+    AmnesicConfig pred_config;
+    pred_config.policy = Policy::Predictor;
+    AmnesicMachine pred(compiled.program, energy, pred_config);
+    pred.run();
+
+    // The swapped load misses L1 every iteration: the predictor stays
+    // in its miss state and fires exactly like FLC...
+    EXPECT_EQ(pred.stats().recomputations, flc.stats().recomputations);
+    EXPECT_EQ(pred.stats().recomputeMismatches, 0u);
+    // ...but never pays the probe, so it is strictly cheaper (§3.3.1:
+    // predictors "can also help eliminate the probing overhead").
+    EXPECT_LT(pred.stats().energyNj(), flc.stats().energyNj());
+    EXPECT_LT(pred.stats().cycles, flc.stats().cycles);
+    EXPECT_EQ(pred.predictor().mispredictions(), 0u);
+}
+
+TEST(PredictorPolicy, TrainsTowardFallbackOnHotData)
+{
+    // Make the swapped data L1-resident by shrinking the eviction scan:
+    // after warm-up the predictor must learn to perform the load.
+    ProgramBuilder b("hot-kernel");
+    std::uint64_t cell = b.allocWords(1);
+    b.li(1, cell);
+    b.li(6, 0);
+    b.li(7, 1);
+    b.li(8, 256);
+    auto top = b.newLabel();
+    b.bind(top);
+    b.alu(Opcode::Add, 2, 6, 7);
+    b.alu(Opcode::Add, 3, 2, 2);
+    b.st(1, 0, 3);
+    b.ld(4, 1);
+    b.alu(Opcode::Add, 6, 6, 7);
+    b.blt(6, 8, top);
+    b.halt();
+    Program input = b.finish();
+
+    EnergyModel energy;
+    CompilerConfig compiler_config;
+    compiler_config.minSiteCount = 4;
+    compiler_config.profitabilityMargin = 100.0;  // force selection
+    compiler_config.builder.budgetMargin = 100.0;
+    AmnesicCompiler compiler(energy, HierarchyConfig{}, compiler_config);
+    CompileResult compiled = compiler.compile(input);
+    ASSERT_GE(compiled.stats.selected, 1u);
+
+    AmnesicConfig config;
+    config.policy = Policy::Predictor;
+    AmnesicMachine machine(compiled.program, energy, config);
+    machine.run();
+    // A couple of cold mispredictions at most, then steady fallbacks.
+    EXPECT_GT(machine.stats().fallbackLoads,
+              machine.stats().recomputations);
+    EXPECT_LT(machine.predictor().mispredictionRate(), 0.1);
+}
+
+}  // namespace
+}  // namespace amnesiac

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Parameterized property sweeps (TEST_P) over workload-generator knobs
+ * and seeds: the core invariants of amnesic execution must hold for
+ * every point of the space, not just the tuned benchmark mimics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "isa/verifier.h"
+#include "report/experiment.h"
+#include "workloads/kernels.h"
+
+namespace amnesiac {
+namespace {
+
+/** (chainLen, nc, logWords, vlShift, seed) */
+using ChainPoint = std::tuple<int, bool, int, int, std::uint64_t>;
+
+class ChainProperty : public ::testing::TestWithParam<ChainPoint>
+{
+  protected:
+    Workload
+    workload() const
+    {
+        auto [len, nc, log_words, vl, seed] = GetParam();
+        WorkloadSpec spec;
+        spec.name = "prop";
+        spec.seed = seed;
+        ChainSpec chain;
+        chain.chainLen = static_cast<std::uint32_t>(len);
+        chain.nc = nc;
+        chain.logWords = static_cast<std::uint32_t>(log_words);
+        chain.hotLogWords = 8;
+        chain.coldPercent = 70;
+        chain.vlShift = static_cast<std::uint32_t>(vl);
+        chain.consumes = 3000;
+        spec.chains = {chain};
+        spec.untrackedLoadsPerIter = 1;
+        spec.untrackedLogWords = 9;
+        return buildWorkload(spec);
+    }
+};
+
+TEST_P(ChainProperty, CompiledBinaryIsWellFormedAndSound)
+{
+    Workload w = workload();
+    ASSERT_TRUE(isWellFormed(w.program));
+
+    ExperimentConfig config;
+    AmnesicCompiler compiler(EnergyModel{config.energy}, config.hierarchy,
+                             config.compiler);
+    CompileResult result = compiler.compile(w.program);
+    EXPECT_TRUE(isWellFormed(result.program));
+
+    // Property 1: every selected slice validated perfectly.
+    for (const RSlice &slice : result.slices) {
+        EXPECT_DOUBLE_EQ(slice.dryRunMatchRate, 1.0);
+        EXPECT_LE(slice.length(), config.compiler.builder.maxInstrs);
+        EXPECT_LE(slice.height, config.compiler.builder.maxHeight);
+        EXPECT_LE(slice.ercEstimate, slice.eldEstimate);
+    }
+
+    // Property 2: recomputation never produces a wrong value and the
+    // architectural memory image is preserved, under every policy.
+    Machine classic(w.program, EnergyModel{config.energy},
+                    config.hierarchy);
+    classic.run();
+    for (Policy policy : {Policy::Compiler, Policy::FLC, Policy::LLC,
+                          Policy::COracle, Policy::Predictor}) {
+        AmnesicConfig amnesic_config = config.amnesic;
+        amnesic_config.policy = policy;
+        amnesic_config.strictMismatch = true;
+        AmnesicMachine machine(result.program, EnergyModel{config.energy},
+                               amnesic_config, config.hierarchy);
+        machine.run();
+        EXPECT_EQ(machine.stats().recomputeMismatches, 0u);
+        EXPECT_EQ(machine.stats().rcmpSeen,
+                  machine.stats().recomputations +
+                      machine.stats().fallbackLoads);
+        for (std::uint64_t word = 0; word < w.program.dataImage.size();
+             word += 61)
+            ASSERT_EQ(machine.peekWord(word * 8),
+                      classic.peekWord(word * 8))
+                << policyName(policy) << " word " << word;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KnobSweep, ChainProperty,
+    ::testing::Combine(::testing::Values(1, 3, 9, 24),
+                       ::testing::Bool(),
+                       ::testing::Values(10, 13),
+                       ::testing::Values(0, 4),
+                       ::testing::Values(1u, 77u)));
+
+/** Seed-indexed whole-pipeline determinism. */
+class SeedProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SeedProperty, PipelineIsDeterministic)
+{
+    WorkloadSpec spec;
+    spec.name = "det";
+    spec.seed = GetParam();
+    spec.chains = {{4, true, 11, 8, 60, 1, 2000, true}};
+    ExperimentRunner runner;
+    BenchmarkResult a = runner.run(buildWorkload(spec), {Policy::FLC});
+    BenchmarkResult b = runner.run(buildWorkload(spec), {Policy::FLC});
+    EXPECT_EQ(a.classic.energyNj(), b.classic.energyNj());
+    EXPECT_EQ(a.byPolicy(Policy::FLC)->stats.cycles,
+              b.byPolicy(Policy::FLC)->stats.cycles);
+    EXPECT_EQ(a.compiled.slices.size(), b.compiled.slices.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedProperty,
+                         ::testing::Values(1u, 2u, 3u, 1234567u));
+
+/** The §5.5 monotonicity property: raising R never increases the
+ * C-Oracle's EDP gain. */
+class RMonotonicity : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(RMonotonicity, GainShrinksAsRGrows)
+{
+    WorkloadSpec spec;
+    spec.name = "rknob";
+    spec.chains = {{4, false, 15, 9, 100, 0, 5000}};
+    Workload w = buildWorkload(spec);
+
+    auto gain_at = [&w](double scale) {
+        ExperimentConfig config;
+        config.energy.nonMemScale = scale;
+        ExperimentRunner runner(config);
+        BenchmarkResult r = runner.run(w, {Policy::COracle});
+        return r.byPolicy(Policy::COracle)->edpGainPct;
+    };
+    double scale = GetParam();
+    EXPECT_GE(gain_at(scale) + 0.3 /* sim noise */, gain_at(scale * 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, RMonotonicity,
+                         ::testing::Values(1.0, 2.0, 8.0));
+
+}  // namespace
+}  // namespace amnesiac

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the experiment runner and figure renderers, on a small
+ * workload so the full §5 pipeline stays fast.
+ */
+
+#include <gtest/gtest.h>
+
+#include "report/figures.h"
+#include "workloads/kernels.h"
+
+namespace amnesiac {
+namespace {
+
+Workload
+smallWorkload()
+{
+    WorkloadSpec spec;
+    spec.name = "small";
+    // L2-resident REC-free chain: reliably profitable.
+    spec.chains = {{4, false, 15, 9, 100, 0, 6000}};
+    return buildWorkload(spec);
+}
+
+TEST(Experiment, FullPolicyMatrix)
+{
+    ExperimentRunner runner;
+    BenchmarkResult result = runner.run(smallWorkload());
+    EXPECT_EQ(result.policies.size(), 5u);
+    for (Policy policy : kAllPolicies) {
+        const PolicyOutcome *outcome = result.byPolicy(policy);
+        ASSERT_NE(outcome, nullptr) << policyName(policy);
+        EXPECT_EQ(outcome->policy, policy);
+    }
+    EXPECT_GT(result.classic.dynInstrs, 0u);
+    EXPECT_GE(result.compiled.slices.size(), 1u);
+    EXPECT_GE(result.oracleCompiled.slices.size(), 1u);
+}
+
+TEST(Experiment, GainsAreConsistentWithStats)
+{
+    ExperimentRunner runner;
+    BenchmarkResult result = runner.run(smallWorkload());
+    EnergyModel energy = runner.energyModel();
+    const PolicyOutcome *outcome = result.byPolicy(Policy::Compiler);
+    ASSERT_NE(outcome, nullptr);
+    double expected = gainPercent(result.classic.edp(energy),
+                                  outcome->stats.edp(energy));
+    EXPECT_DOUBLE_EQ(outcome->edpGainPct, expected);
+    // This workload is profitable under every policy but LLC.
+    EXPECT_GT(outcome->edpGainPct, 5.0);
+}
+
+TEST(Experiment, RestrictedPolicyListSkipsOracleCompile)
+{
+    ExperimentRunner runner;
+    BenchmarkResult result =
+        runner.run(smallWorkload(), {Policy::FLC, Policy::LLC});
+    EXPECT_EQ(result.policies.size(), 2u);
+    EXPECT_EQ(result.byPolicy(Policy::Oracle), nullptr);
+    EXPECT_TRUE(result.oracleCompiled.slices.empty());
+    EXPECT_FALSE(result.compiled.slices.empty());
+}
+
+TEST(Experiment, OraclePoliciesNeverLoseToClassicOnEnergyHere)
+{
+    // C-Oracle fires only when the instance-level energy trade is
+    // favourable; on this REC-free workload it must not lose energy.
+    ExperimentRunner runner;
+    BenchmarkResult result = runner.run(smallWorkload());
+    EXPECT_GE(result.byPolicy(Policy::COracle)->energyGainPct, 0.0);
+}
+
+TEST(Experiment, BreakEvenScaleIsReachedAndOrdered)
+{
+    ExperimentConfig config;
+    double k = breakEvenScale(smallWorkload(), config, Policy::COracle,
+                              256.0);
+    // The slice trades ~2 nJ of ALU work for an ~9 nJ L2 load; the
+    // break-even scale must be well above 1 and below the cap.
+    EXPECT_GT(k, 1.5);
+    EXPECT_LT(k, 256.0);
+}
+
+TEST(Figures, RenderersProduceRows)
+{
+    ExperimentRunner runner;
+    std::vector<BenchmarkResult> results;
+    results.push_back(runner.run(smallWorkload()));
+
+    std::string fig3 = renderGainFigure(results, GainMetric::Edp);
+    EXPECT_NE(fig3.find("small"), std::string::npos);
+    EXPECT_NE(fig3.find("Oracle"), std::string::npos);
+
+    std::string t4 = renderTable4(results);
+    EXPECT_NE(t4.find("c-Load%"), std::string::npos);
+    std::string t5 = renderTable5(results);
+    EXPECT_NE(t5.find("FLC:L1%"), std::string::npos);
+    std::string f6 = renderFig6(results[0]);
+    EXPECT_NE(f6.find("# instructions"), std::string::npos);
+    std::string f7 = renderFig7(results);
+    EXPECT_NE(f7.find("w/ nc"), std::string::npos);
+    std::string f8 = renderFig8(results[0]);
+    EXPECT_NE(f8.find("value locality"), std::string::npos);
+    std::string arch = renderArchitectureTable(runner.config());
+    EXPECT_NE(arch.find("L1-D: 32KB"), std::string::npos);
+}
+
+TEST(Figures, Table5CompilerRowMatchesProfiledResidence)
+{
+    ExperimentRunner runner;
+    std::vector<BenchmarkResult> results;
+    results.push_back(runner.run(smallWorkload()));
+    const RSlice &slice = results[0].compiled.slices.at(0);
+    // Single slice: the Compiler row is exactly its profile.
+    std::string t5 = renderTable5(results);
+    char expect[32];
+    std::snprintf(expect, sizeof(expect), "%.2f",
+                  100.0 * slice.profResidence[0]);
+    EXPECT_NE(t5.find(expect), std::string::npos);
+}
+
+}  // namespace
+}  // namespace amnesiac

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the RSlice representation: leaf classification, statistics,
+ * capture points.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rslice.h"
+
+namespace amnesiac {
+namespace {
+
+SliceInstr
+make(Opcode op, std::uint32_t orig_pc, Reg rd, int level,
+     std::uint64_t seq,
+     std::initializer_list<SliceOperand> ops = {})
+{
+    SliceInstr instr;
+    instr.op = op;
+    instr.origPc = orig_pc;
+    instr.rd = rd;
+    instr.level = level;
+    instr.seq = seq;
+    instr.numOps = 0;
+    for (const SliceOperand &op_spec : ops)
+        instr.ops[instr.numOps++] = op_spec;
+    return instr;
+}
+
+/** Fig 1-shaped slice: root with one Live leaf and one Hist leaf. */
+RSlice
+figureOneSlice()
+{
+    RSlice slice;
+    slice.loadPc = 99;
+    slice.instrs.push_back(
+        make(Opcode::Shr, 10, 14, 1, 1,
+             {{OperandSource::Live, 10, -1}, {OperandSource::Live, 13, -1}}));
+    slice.instrs.push_back(
+        make(Opcode::Mul, 11, 12, 1, 2,
+             {{OperandSource::Slice, 14, 0}, {OperandSource::Hist, 11, -1}}));
+    slice.instrs.push_back(
+        make(Opcode::Add, 12, 12, 0, 3,
+             {{OperandSource::Slice, 12, 1}, {OperandSource::Slice, 14, 0}}));
+    slice.computeStats();
+    return slice;
+}
+
+TEST(RSlice, LeafClassification)
+{
+    RSlice slice = figureOneSlice();
+    EXPECT_TRUE(slice.instrs[0].isLeaf());
+    EXPECT_FALSE(slice.instrs[1].isLeaf());  // has a Slice operand
+    EXPECT_FALSE(slice.instrs[2].isLeaf());
+    EXPECT_FALSE(slice.instrs[0].hasHistOperand());
+    EXPECT_TRUE(slice.instrs[1].hasHistOperand());
+}
+
+TEST(RSlice, StatsComputation)
+{
+    RSlice slice = figureOneSlice();
+    EXPECT_EQ(slice.length(), 3u);
+    EXPECT_EQ(slice.height, 1u);
+    EXPECT_EQ(slice.leafCount, 1u);
+    EXPECT_EQ(slice.histLeafCount, 1u);
+    EXPECT_EQ(slice.histOperandCount, 1u);
+    EXPECT_TRUE(slice.hasNonRecomputableInputs());
+    EXPECT_EQ(slice.rootIndex(), 2u);
+}
+
+TEST(RSlice, CapturePoints)
+{
+    RSlice slice = figureOneSlice();
+    auto points = slice.capturePoints();
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_EQ(points[0].first, 11u);   // original pc of the Hist leaf
+    EXPECT_EQ(points[0].second, 1u);   // its index within the slice
+}
+
+TEST(RSlice, RecFreeSliceHasNoCaptures)
+{
+    RSlice slice;
+    slice.instrs.push_back(
+        make(Opcode::Add, 5, 12, 0, 1,
+             {{OperandSource::Live, 14, -1},
+              {OperandSource::Live, 14, -1}}));
+    slice.computeStats();
+    EXPECT_FALSE(slice.hasNonRecomputableInputs());
+    EXPECT_TRUE(slice.capturePoints().empty());
+    EXPECT_EQ(slice.leafCount, 1u);
+    EXPECT_EQ(slice.height, 0u);
+}
+
+TEST(RSlice, LiInstructionIsATerminalLeaf)
+{
+    // §2.1: "terminal instructions which do not have any producers
+    // (e.g., instructions with constants as input operands)".
+    RSlice slice;
+    slice.instrs.push_back(make(Opcode::Li, 3, 7, 1, 1));
+    slice.instrs.push_back(
+        make(Opcode::Mov, 4, 8, 0, 2, {{OperandSource::Slice, 7, 0}}));
+    slice.computeStats();
+    EXPECT_TRUE(slice.instrs[0].isLeaf());
+    EXPECT_EQ(slice.leafCount, 1u);
+    EXPECT_EQ(slice.histLeafCount, 0u);
+}
+
+}  // namespace
+}  // namespace amnesiac

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the §3.2 microarchitectural structures: SFile, Renamer,
+ * Hist (with the §3.5 overflow semantics), and IBuff.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/uarch.h"
+
+namespace amnesiac {
+namespace {
+
+TEST(SFile, AllocateReadDeallocate)
+{
+    SFile sfile(4);
+    auto a = sfile.alloc(11);
+    auto b = sfile.alloc(22);
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(sfile.read(*a), 11u);
+    EXPECT_EQ(sfile.read(*b), 22u);
+    EXPECT_EQ(sfile.inUse(), 2u);
+    sfile.beginSlice();
+    EXPECT_EQ(sfile.inUse(), 0u);
+}
+
+TEST(SFile, OverflowReturnsNothingAndCounts)
+{
+    SFile sfile(2);
+    EXPECT_TRUE(sfile.alloc(1).has_value());
+    EXPECT_TRUE(sfile.alloc(2).has_value());
+    EXPECT_FALSE(sfile.alloc(3).has_value());
+    EXPECT_EQ(sfile.overflows(), 1u);
+    // Deallocation makes room again (per-slice lifetime, §3.2).
+    sfile.beginSlice();
+    EXPECT_TRUE(sfile.alloc(4).has_value());
+}
+
+TEST(SFile, HighWaterTracksPeakOccupancy)
+{
+    SFile sfile(8);
+    sfile.alloc(1);
+    sfile.alloc(2);
+    sfile.alloc(3);
+    sfile.beginSlice();
+    sfile.alloc(4);
+    EXPECT_EQ(sfile.highWater(), 3u);
+}
+
+TEST(Renamer, MapsAndForgets)
+{
+    Renamer renamer;
+    EXPECT_FALSE(renamer.lookup(5).has_value());
+    renamer.bind(5, 2);
+    ASSERT_TRUE(renamer.lookup(5).has_value());
+    EXPECT_EQ(*renamer.lookup(5), 2u);
+    renamer.bind(5, 7);  // later definition wins (rename semantics)
+    EXPECT_EQ(*renamer.lookup(5), 7u);
+    renamer.beginSlice();
+    EXPECT_FALSE(renamer.lookup(5).has_value());
+}
+
+TEST(Hist, RecordAndLookup)
+{
+    Hist hist(4);
+    EXPECT_EQ(hist.lookup(10), nullptr);
+    EXPECT_TRUE(hist.record(10, 111, 222));
+    const Hist::Entry *entry = hist.lookup(10);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->values[0], 111u);
+    EXPECT_EQ(entry->values[1], 222u);
+    EXPECT_EQ(hist.writes(), 1u);
+    EXPECT_EQ(hist.reads(), 1u);
+}
+
+TEST(Hist, LatestCheckpointWins)
+{
+    Hist hist(4);
+    hist.record(10, 1, 2);
+    hist.record(10, 3, 4);
+    EXPECT_EQ(hist.lookup(10)->values[0], 3u);
+    EXPECT_EQ(hist.size(), 1u);
+}
+
+TEST(Hist, OverflowFailsNewLeavesButUpdatesOldOnes)
+{
+    // §3.5: capacity overflow makes the REC fail; existing entries stay
+    // writable.
+    Hist hist(2);
+    EXPECT_TRUE(hist.record(1, 0, 0));
+    EXPECT_TRUE(hist.record(2, 0, 0));
+    EXPECT_FALSE(hist.record(3, 0, 0));
+    EXPECT_EQ(hist.overflows(), 1u);
+    EXPECT_TRUE(hist.record(1, 9, 9));  // update still fine
+    EXPECT_EQ(hist.lookup(1)->values[0], 9u);
+    EXPECT_EQ(hist.highWater(), 2u);
+}
+
+TEST(IBuff, TracksCoverage)
+{
+    IBuff ibuff(8);
+    EXPECT_TRUE(ibuff.fill(5));
+    EXPECT_TRUE(ibuff.fill(8));
+    EXPECT_FALSE(ibuff.fill(9));
+    EXPECT_EQ(ibuff.fills(), 3u);
+    EXPECT_EQ(ibuff.tooLarge(), 1u);
+    EXPECT_EQ(ibuff.highWater(), 8u);
+}
+
+}  // namespace
+}  // namespace amnesiac

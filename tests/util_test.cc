@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for the util substrate: RNG determinism and distribution,
+ * histogram bucketing, table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/histogram.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace amnesiac {
+namespace {
+
+TEST(Xorshift64Star, DeterministicAcrossInstances)
+{
+    Xorshift64Star a(42);
+    Xorshift64Star b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xorshift64Star, DifferentSeedsDiverge)
+{
+    Xorshift64Star a(1);
+    Xorshift64Star b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Xorshift64Star, ZeroSeedRemapped)
+{
+    Xorshift64Star rng(0);
+    EXPECT_NE(rng.state(), 0u);
+    EXPECT_NE(rng.next(), 0u);
+}
+
+TEST(Xorshift64Star, NextBelowStaysInRange)
+{
+    Xorshift64Star rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(Xorshift64Star, NextInRangeInclusive)
+{
+    Xorshift64Star rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        std::uint64_t v = rng.nextInRange(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u);  // every value hit
+}
+
+TEST(Xorshift64Star, DoubleInUnitInterval)
+{
+    Xorshift64Star rng(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        double v = rng.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xorshift64Star, BernoulliRespectsProbability)
+{
+    Xorshift64Star rng(13);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.nextBool(0.25);
+    EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+    EXPECT_FALSE(rng.nextBool(0.0));
+    EXPECT_TRUE(rng.nextBool(1.0));
+}
+
+TEST(Xorshift64Star, WeightedDrawsFollowWeights)
+{
+    Xorshift64Star rng(17);
+    std::vector<double> weights = {1.0, 0.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 40000; ++i)
+        ++counts[rng.nextWeighted(weights)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(Histogram, BucketsAndClamping)
+{
+    Histogram h(10.0, 5);
+    h.add(0.0);
+    h.add(9.9);
+    h.add(10.0);
+    h.add(1000.0);  // clamps into the last bucket
+    EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.count(1), 1.0);
+    EXPECT_DOUBLE_EQ(h.count(4), 1.0);
+    EXPECT_DOUBLE_EQ(h.total(), 4.0);
+    EXPECT_DOUBLE_EQ(h.maxSample(), 1000.0);
+}
+
+TEST(Histogram, PercentAndMean)
+{
+    Histogram h(1.0, 10);
+    h.addWeighted(2.0, 3.0);
+    h.addWeighted(4.0, 1.0);
+    EXPECT_DOUBLE_EQ(h.percent(2), 75.0);
+    EXPECT_DOUBLE_EQ(h.percent(4), 25.0);
+    EXPECT_DOUBLE_EQ(h.mean(), (2.0 * 3 + 4.0) / 4.0);
+}
+
+TEST(Histogram, EmptyRendersWithoutCrashing)
+{
+    Histogram h(5.0, 4);
+    EXPECT_FALSE(h.render("x").empty());
+    EXPECT_DOUBLE_EQ(h.percent(0), 0.0);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.row().cell("alpha").cell(1.5, 1);
+    t.row().cell("b").cell(static_cast<long long>(42));
+    std::string out = t.render();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("1.5"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvRoundTrip)
+{
+    Table t({"a", "b"});
+    t.row().cell("x").cell(2.25, 2);
+    EXPECT_EQ(t.renderCsv(), "a,b\nx,2.25\n");
+}
+
+}  // namespace
+}  // namespace amnesiac

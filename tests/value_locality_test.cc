@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Tests for the §5.6 value-locality profiler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "profile/value_locality.h"
+
+namespace amnesiac {
+namespace {
+
+TEST(ValueLocality, UnseenSiteIsZero)
+{
+    ValueLocalityProfiler p;
+    EXPECT_DOUBLE_EQ(p.localityPercent(5), 0.0);
+    EXPECT_EQ(p.count(5), 0u);
+}
+
+TEST(ValueLocality, SingleInstanceIsZero)
+{
+    ValueLocalityProfiler p;
+    p.record(1, 42);
+    EXPECT_DOUBLE_EQ(p.localityPercent(1), 0.0);
+    EXPECT_EQ(p.count(1), 1u);
+}
+
+TEST(ValueLocality, ConstantStreamIsFullyLocal)
+{
+    ValueLocalityProfiler p;
+    for (int i = 0; i < 100; ++i)
+        p.record(1, 7);
+    EXPECT_DOUBLE_EQ(p.localityPercent(1), 100.0);
+}
+
+TEST(ValueLocality, DistinctStreamHasZeroLocality)
+{
+    ValueLocalityProfiler p;
+    for (int i = 0; i < 100; ++i)
+        p.record(1, static_cast<std::uint64_t>(i));
+    EXPECT_DOUBLE_EQ(p.localityPercent(1), 0.0);
+}
+
+TEST(ValueLocality, AlternatingStreamIsHalfLocalPerRepeat)
+{
+    // a a b b a a b b ... : half of the transitions repeat.
+    ValueLocalityProfiler p;
+    for (int i = 0; i < 100; ++i)
+        p.record(1, (i / 2) % 2);
+    EXPECT_NEAR(p.localityPercent(1), 50.0, 2.0);
+}
+
+TEST(ValueLocality, SitesAreIndependent)
+{
+    ValueLocalityProfiler p;
+    for (int i = 0; i < 50; ++i) {
+        p.record(1, 7);
+        p.record(2, static_cast<std::uint64_t>(i));
+    }
+    EXPECT_DOUBLE_EQ(p.localityPercent(1), 100.0);
+    EXPECT_DOUBLE_EQ(p.localityPercent(2), 0.0);
+}
+
+}  // namespace
+}  // namespace amnesiac

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the structural program verifier, including the amnesic
+ * slice-region invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/program_builder.h"
+#include "isa/verifier.h"
+
+namespace amnesiac {
+namespace {
+
+Program
+simpleClassicProgram()
+{
+    ProgramBuilder b("ok");
+    b.li(1, 0);
+    b.ld(2, 1);
+    b.halt();
+    Program p = b.finish();
+    p.dataImage.resize(1, 0);
+    return p;
+}
+
+/** Hand-assemble a minimal valid amnesic binary:
+ *    0: li r1, 0
+ *    1: rec {r1,r1} -> hist[5]
+ *    2: li r3, 21          (leaf original)
+ *    3: rcmp r2, [r1+0], slice#0@5
+ *    4: halt
+ *    5: add r2, hist, hist (leaf)     <- slice 0
+ *    6: rtn
+ */
+Program
+miniAmnesicProgram()
+{
+    Program p;
+    p.name = "mini-amnesic";
+    p.dataImage.resize(1, 42);
+
+    Instruction li1;
+    li1.op = Opcode::Li;
+    li1.rd = 1;
+    p.code.push_back(li1);
+
+    Instruction rec;
+    rec.op = Opcode::Rec;
+    rec.rs1 = 3;
+    rec.rs2 = 3;
+    rec.sliceId = 0;
+    rec.leafAddr = 5;
+    p.code.push_back(rec);
+
+    Instruction li3;
+    li3.op = Opcode::Li;
+    li3.rd = 3;
+    li3.imm = 21;
+    p.code.push_back(li3);
+
+    Instruction rcmp;
+    rcmp.op = Opcode::Rcmp;
+    rcmp.rd = 2;
+    rcmp.rs1 = 1;
+    rcmp.sliceId = 0;
+    rcmp.target = 5;
+    p.code.push_back(rcmp);
+
+    Instruction halt;
+    halt.op = Opcode::Halt;
+    p.code.push_back(halt);
+    p.codeEnd = 5;
+
+    Instruction leaf;
+    leaf.op = Opcode::Add;
+    leaf.rd = 2;
+    leaf.rs1 = 3;
+    leaf.rs2 = 3;
+    leaf.sliceId = 0;
+    leaf.src1 = OperandSource::Hist;
+    leaf.src2 = OperandSource::Hist;
+    p.code.push_back(leaf);
+
+    Instruction rtn;
+    rtn.op = Opcode::Rtn;
+    rtn.sliceId = 0;
+    p.code.push_back(rtn);
+
+    RSliceMeta meta;
+    meta.id = 0;
+    meta.entry = 5;
+    meta.length = 1;
+    meta.rcmpPc = 3;
+    meta.leafCount = 1;
+    meta.histLeafCount = 1;
+    meta.histOperandCount = 2;
+    p.slices.push_back(meta);
+    return p;
+}
+
+TEST(Verifier, AcceptsClassicProgram)
+{
+    EXPECT_TRUE(isWellFormed(simpleClassicProgram()));
+}
+
+TEST(Verifier, AcceptsMinimalAmnesicProgram)
+{
+    Program p = miniAmnesicProgram();
+    auto findings = verifyProgram(p);
+    EXPECT_TRUE(findings.empty())
+        << (findings.empty() ? "" : findings.front());
+}
+
+TEST(Verifier, RejectsBranchIntoSliceRegion)
+{
+    Program p = miniAmnesicProgram();
+    p.code[0].op = Opcode::Jmp;
+    p.code[0].target = 5;  // into the slice region
+    EXPECT_FALSE(isWellFormed(p));
+}
+
+TEST(Verifier, RejectsRtnInMainCode)
+{
+    Program p = simpleClassicProgram();
+    Instruction rtn;
+    rtn.op = Opcode::Rtn;
+    p.code.insert(p.code.begin(), rtn);
+    p.codeEnd = static_cast<std::uint32_t>(p.code.size());
+    EXPECT_FALSE(isWellFormed(p));
+}
+
+TEST(Verifier, RejectsRcmpWithUnknownSlice)
+{
+    Program p = miniAmnesicProgram();
+    p.code[3].sliceId = 7;
+    EXPECT_FALSE(isWellFormed(p));
+}
+
+TEST(Verifier, RejectsRcmpTargetMismatch)
+{
+    Program p = miniAmnesicProgram();
+    p.code[3].target = 6;
+    EXPECT_FALSE(isWellFormed(p));
+}
+
+TEST(Verifier, RejectsHistOperandWithoutRec)
+{
+    Program p = miniAmnesicProgram();
+    p.code[1].op = Opcode::Nop;  // drop the REC
+    EXPECT_FALSE(isWellFormed(p));
+}
+
+TEST(Verifier, RejectsSliceOperandReadBeforeDefined)
+{
+    Program p = miniAmnesicProgram();
+    p.code[5].src1 = OperandSource::Slice;  // nothing defined r3 in-slice
+    EXPECT_FALSE(isWellFormed(p));
+}
+
+TEST(Verifier, RejectsNonSliceableOpcodeInSlice)
+{
+    Program p = miniAmnesicProgram();
+    p.code[5].op = Opcode::Ld;
+    EXPECT_FALSE(isWellFormed(p));
+}
+
+TEST(Verifier, RejectsSliceBlockWithoutRtn)
+{
+    Program p = miniAmnesicProgram();
+    p.code[6].op = Opcode::Nop;
+    EXPECT_FALSE(isWellFormed(p));
+}
+
+TEST(Verifier, RejectsLeafCountMetadataMismatch)
+{
+    Program p = miniAmnesicProgram();
+    p.slices[0].leafCount = 3;
+    EXPECT_FALSE(isWellFormed(p));
+}
+
+TEST(Verifier, RejectsFallThroughIntoSliceRegion)
+{
+    Program p = miniAmnesicProgram();
+    p.code[4].op = Opcode::Nop;  // main code no longer ends in halt/jmp
+    EXPECT_FALSE(isWellFormed(p));
+}
+
+TEST(Verifier, RejectsBadRegisterIndex)
+{
+    Program p = simpleClassicProgram();
+    p.code[0].rd = kNumRegs;  // out of range
+    EXPECT_FALSE(isWellFormed(p));
+}
+
+}  // namespace
+}  // namespace amnesiac

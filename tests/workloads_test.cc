@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the workload generators: structural validity, functional
+ * correctness of produced values, determinism, registry coverage, and
+ * the characterization knobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/verifier.h"
+#include "sim/machine.h"
+#include "workloads/paper_suite.h"
+#include "workloads/registry.h"
+
+namespace amnesiac {
+namespace {
+
+WorkloadSpec
+smallSpec()
+{
+    WorkloadSpec spec;
+    spec.name = "small";
+    spec.chains = {{4, false, 10, 8, 100, 0, 500},
+                   {3, true, 9, 8, 50, 1, 400, true}};
+    spec.untrackedLoadsPerIter = 1;
+    spec.untrackedLogWords = 8;
+    spec.chaseLoadsPerIter = 1;
+    spec.chaseLogWords = 8;
+    spec.fillerAluPerIter = 2;
+    spec.outStoreLogInterval = 3;
+    return spec;
+}
+
+TEST(Workloads, GeneratedProgramsAreWellFormed)
+{
+    Workload w = buildWorkload(smallSpec());
+    auto findings = verifyProgram(w.program);
+    EXPECT_TRUE(findings.empty())
+        << (findings.empty() ? "" : findings.front());
+}
+
+TEST(Workloads, ProgramsRunToCompletion)
+{
+    Workload w = buildWorkload(smallSpec());
+    Machine m(w.program, EnergyModel{});
+    m.run();
+    EXPECT_TRUE(m.halted());
+    EXPECT_GT(m.stats().dynLoads, 500u);
+}
+
+TEST(Workloads, ProducedValuesMatchReference)
+{
+    WorkloadSpec spec = smallSpec();
+    Workload w = buildWorkload(spec);
+    Machine m(w.program, EnergyModel{});
+    m.run();
+    // Chain 0 occupies the first array; spot-check produced elements
+    // against the host-side reference function.
+    for (std::uint64_t j : {0ull, 1ull, 17ull, 1023ull})
+        EXPECT_EQ(m.peekWord(j * 8), chainReferenceValue(spec, 0, j))
+            << "element " << j;
+    // Chain 1 (nc) starts right after chain 0's 2^10 words; its own
+    // parameter word is allocated after chain 1's array.
+    std::uint64_t base1 = (1ull << 10) * 8;
+    for (std::uint64_t j : {0ull, 5ull, 511ull})
+        EXPECT_EQ(m.peekWord(base1 + j * 8),
+                  chainReferenceValue(spec, 1, j));
+}
+
+TEST(Workloads, DeterministicAcrossBuilds)
+{
+    Workload a = buildWorkload(smallSpec());
+    Workload b = buildWorkload(smallSpec());
+    ASSERT_EQ(a.program.code.size(), b.program.code.size());
+    ASSERT_EQ(a.program.dataImage, b.program.dataImage);
+    Machine ma(a.program, EnergyModel{});
+    Machine mb(b.program, EnergyModel{});
+    ma.run();
+    mb.run();
+    EXPECT_EQ(ma.stats().dynInstrs, mb.stats().dynInstrs);
+    EXPECT_EQ(ma.stats().energyNj(), mb.stats().energyNj());
+}
+
+TEST(Workloads, SeedChangesInputsButNotStructure)
+{
+    WorkloadSpec spec = smallSpec();
+    Workload a = buildWorkload(spec);
+    spec.seed = 99;
+    Workload b = buildWorkload(spec);
+    EXPECT_EQ(a.program.code.size(), b.program.code.size());
+    EXPECT_NE(a.program.dataImage, b.program.dataImage);
+}
+
+TEST(Workloads, VlShiftCollapsesValueCodomain)
+{
+    WorkloadSpec flat = smallSpec();
+    flat.chains = {{2, false, 10, 8, 100, 0, 100}};
+    WorkloadSpec collapsed = flat;
+    collapsed.chains[0].vlShift = 10;  // >= logWords: all values equal
+    EXPECT_NE(chainReferenceValue(flat, 0, 1),
+              chainReferenceValue(flat, 0, 2));
+    EXPECT_EQ(chainReferenceValue(collapsed, 0, 1),
+              chainReferenceValue(collapsed, 0, 2));
+}
+
+TEST(Workloads, NcChainsDependOnTheParameter)
+{
+    WorkloadSpec spec = smallSpec();
+    std::uint64_t v1 = chainReferenceValue(spec, 1, 3);
+    spec.seed = 1234;
+    std::uint64_t v2 = chainReferenceValue(spec, 1, 3);
+    EXPECT_NE(v1, v2) << "nc chains must mix in the runtime parameter";
+}
+
+TEST(Workloads, ChaseRingIsAPermutationCycle)
+{
+    WorkloadSpec spec = smallSpec();
+    Workload w = buildWorkload(spec);
+    // The chase region follows: chains (2^10 + 1 + 2^9) words, then the
+    // untracked array (2^8), then the chase ring (2^8 words).
+    std::uint64_t chase_base =
+        ((1ull << 10) + 1 + (1ull << 9) + (1ull << 8)) * 8;
+    std::uint64_t cursor = chase_base;
+    std::uint64_t steps = 0;
+    do {
+        std::uint64_t word = cursor / 8;
+        ASSERT_LT(word, w.program.dataImage.size());
+        cursor = w.program.dataImage[word];
+        ++steps;
+        ASSERT_LE(steps, 1ull << 8);
+    } while (cursor != chase_base);
+    EXPECT_EQ(steps, 1ull << 8) << "chase must visit every ring element";
+}
+
+TEST(Workloads, PaperSuiteNamesAndConstruction)
+{
+    const auto &names = paperBenchmarkNames();
+    ASSERT_EQ(names.size(), 11u);
+    EXPECT_EQ(names.front(), "mcf");
+    EXPECT_EQ(names.back(), "sr");
+    for (const std::string &name : names) {
+        WorkloadSpec spec = paperBenchmarkSpec(name);
+        EXPECT_FALSE(spec.chains.empty()) << name;
+        EXPECT_FALSE(spec.description.empty()) << name;
+    }
+}
+
+TEST(Workloads, RegistryCoversPaperSuiteAndGenerics)
+{
+    auto names = registeredWorkloads();
+    EXPECT_GE(names.size(), 14u);
+    for (const std::string &name : paperBenchmarkNames())
+        EXPECT_TRUE(isRegisteredWorkload(name)) << name;
+    EXPECT_TRUE(isRegisteredWorkload("stream-recompute"));
+    EXPECT_TRUE(isRegisteredWorkload("compute-bound"));
+    EXPECT_FALSE(isRegisteredWorkload("no-such-workload"));
+}
+
+TEST(Workloads, RegistryBuildsRunnableGenerics)
+{
+    for (const char *name :
+         {"stream-recompute", "hist-stress", "compute-bound"}) {
+        Workload w = makeWorkload(name);
+        EXPECT_TRUE(isWellFormed(w.program)) << name;
+        Machine m(w.program, EnergyModel{});
+        m.run();
+        EXPECT_TRUE(m.halted()) << name;
+    }
+}
+
+TEST(WorkloadsDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(makeWorkload("bogus"), ::testing::ExitedWithCode(1),
+                "unknown workload");
+}
+
+}  // namespace
+}  // namespace amnesiac

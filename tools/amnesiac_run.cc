@@ -1,0 +1,178 @@
+/**
+ * @file
+ * amnesiac-run: command-line driver for the full pipeline.
+ *
+ *   amnesiac-run [options] <workload>
+ *
+ *   --list                 list registered workloads and exit
+ *   --policy <name>        Compiler|FLC|LLC|C-Oracle|Oracle|Predictor|all
+ *                          (default: all)
+ *   --seed <n>             workload seed (default 1)
+ *   --scale <x>            non-memory EPI scale, the §5.5 R knob
+ *   --hist <n>             Hist capacity (default 600)
+ *   --sfile <n>            SFile capacity (default 192)
+ *   --per-site-model       use the exact per-site Eld model instead of
+ *                          the paper's global §3.1.1 model
+ *   --csv                  machine-readable output
+ *   --save <path>          write the compiled amnesic binary and exit
+ *   --disasm               dump the rewritten binary and exit
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "isa/disasm.h"
+#include "isa/serialize.h"
+#include "report/experiment.h"
+#include "util/table.h"
+#include "workloads/registry.h"
+
+namespace {
+
+using namespace amnesiac;
+
+std::optional<Policy>
+parsePolicy(const std::string &name)
+{
+    for (Policy policy : {Policy::Oracle, Policy::COracle, Policy::Compiler,
+                          Policy::FLC, Policy::LLC, Policy::Predictor})
+        if (name == policyName(policy))
+            return policy;
+    return std::nullopt;
+}
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--list] [--policy <p>] [--seed <n>] "
+                 "[--scale <x>] [--hist <n>] [--sfile <n>] "
+                 "[--per-site-model] [--csv] [--disasm] "
+                 "[--save <path>] <workload>\n",
+                 argv0);
+    std::exit(2);
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload_name;
+    std::string policy_arg = "all";
+    std::uint64_t seed = 1;
+    ExperimentConfig config;
+    bool csv = false;
+    bool disasm = false;
+    std::string save_path;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            for (const std::string &name : registeredWorkloads())
+                std::printf("%s\n", name.c_str());
+            return 0;
+        } else if (arg == "--policy") {
+            policy_arg = next();
+        } else if (arg == "--seed") {
+            seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--scale") {
+            config.energy.nonMemScale = std::strtod(next(), nullptr);
+        } else if (arg == "--hist") {
+            config.amnesic.histCapacity = static_cast<std::uint32_t>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--sfile") {
+            config.amnesic.sfileCapacity = static_cast<std::uint32_t>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--per-site-model") {
+            config.compiler.globalResidenceModel = false;
+        } else if (arg == "--save") {
+            save_path = next();
+        } else if (arg == "--csv") {
+            csv = true;
+        } else if (arg == "--disasm") {
+            disasm = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage(argv[0]);
+        } else {
+            workload_name = arg;
+        }
+    }
+    if (workload_name.empty())
+        usage(argv[0]);
+    if (!isRegisteredWorkload(workload_name)) {
+        std::fprintf(stderr, "unknown workload '%s' (try --list)\n",
+                     workload_name.c_str());
+        return 2;
+    }
+
+    Workload workload = makeWorkload(workload_name, seed);
+    ExperimentRunner runner(config);
+
+    if (disasm || !save_path.empty()) {
+        AmnesicCompiler compiler(runner.energyModel(), config.hierarchy,
+                                 config.compiler);
+        CompileResult compiled = compiler.compile(workload.program);
+        if (!save_path.empty()) {
+            saveProgram(compiled.program, save_path);
+            std::printf("wrote %s (%zu instructions, %zu slices)\n",
+                        save_path.c_str(), compiled.program.code.size(),
+                        compiled.slices.size());
+        }
+        if (disasm)
+            std::printf("%s", disassemble(compiled.program).c_str());
+        return 0;
+    }
+
+    std::vector<Policy> policies;
+    if (policy_arg == "all") {
+        policies.assign(kAllPolicies,
+                        kAllPolicies + std::size(kAllPolicies));
+    } else if (auto policy = parsePolicy(policy_arg)) {
+        policies.push_back(*policy);
+    } else {
+        std::fprintf(stderr, "unknown policy '%s'\n", policy_arg.c_str());
+        return 2;
+    }
+
+    BenchmarkResult result = runner.run(workload, policies);
+    EnergyModel energy = runner.energyModel();
+
+    Table table({"policy", "EDP gain %", "energy gain %", "time gain %",
+                 "recomputations", "fallbacks", "mismatches"});
+    for (const PolicyOutcome &outcome : result.policies) {
+        table.row()
+            .cell(std::string(policyName(outcome.policy)))
+            .cell(outcome.edpGainPct, 2)
+            .cell(outcome.energyGainPct, 2)
+            .cell(outcome.perfGainPct, 2)
+            .cell(static_cast<long long>(outcome.stats.recomputations))
+            .cell(static_cast<long long>(outcome.stats.fallbackLoads))
+            .cell(static_cast<long long>(
+                outcome.stats.recomputeMismatches));
+    }
+    if (csv) {
+        std::printf("%s", table.renderCsv().c_str());
+        return 0;
+    }
+    std::printf("workload: %s (seed %llu) — %s\n", workload.name.c_str(),
+                static_cast<unsigned long long>(seed),
+                workload.description.c_str());
+    std::printf("classic: %llu instrs, %.2f uJ, EDP %.4g J*s\n",
+                static_cast<unsigned long long>(result.classic.dynInstrs),
+                result.classic.energyNj() * 1e-3,
+                result.classic.edp(energy));
+    std::printf("slices: %zu selected (oracle set: %zu)\n\n",
+                result.compiled.slices.size(),
+                result.oracleCompiled.slices.size());
+    std::printf("%s", table.render().c_str());
+    return 0;
+}
