@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_energy_model.cc" "bench/CMakeFiles/ablation_energy_model.dir/ablation_energy_model.cc.o" "gcc" "bench/CMakeFiles/ablation_energy_model.dir/ablation_energy_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/amnesiac_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amnesiac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amnesiac_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amnesiac_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amnesiac_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amnesiac_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amnesiac_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amnesiac_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amnesiac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

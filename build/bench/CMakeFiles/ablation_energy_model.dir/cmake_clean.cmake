@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_energy_model.dir/ablation_energy_model.cc.o"
+  "CMakeFiles/ablation_energy_model.dir/ablation_energy_model.cc.o.d"
+  "ablation_energy_model"
+  "ablation_energy_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_energy_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hist_capacity.dir/ablation_hist_capacity.cc.o"
+  "CMakeFiles/ablation_hist_capacity.dir/ablation_hist_capacity.cc.o.d"
+  "ablation_hist_capacity"
+  "ablation_hist_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hist_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

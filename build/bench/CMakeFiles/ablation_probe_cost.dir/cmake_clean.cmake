@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_probe_cost.dir/ablation_probe_cost.cc.o"
+  "CMakeFiles/ablation_probe_cost.dir/ablation_probe_cost.cc.o.d"
+  "ablation_probe_cost"
+  "ablation_probe_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_probe_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_slice_cap.dir/ablation_slice_cap.cc.o"
+  "CMakeFiles/ablation_slice_cap.dir/ablation_slice_cap.cc.o.d"
+  "ablation_slice_cap"
+  "ablation_slice_cap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_slice_cap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_store_elimination.dir/ablation_store_elimination.cc.o"
+  "CMakeFiles/ablation_store_elimination.dir/ablation_store_elimination.cc.o.d"
+  "ablation_store_elimination"
+  "ablation_store_elimination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_store_elimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_structure_sizing.dir/ablation_structure_sizing.cc.o"
+  "CMakeFiles/ablation_structure_sizing.dir/ablation_structure_sizing.cc.o.d"
+  "ablation_structure_sizing"
+  "ablation_structure_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_structure_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

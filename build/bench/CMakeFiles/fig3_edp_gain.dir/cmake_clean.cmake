@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_edp_gain.dir/fig3_edp_gain.cc.o"
+  "CMakeFiles/fig3_edp_gain.dir/fig3_edp_gain.cc.o.d"
+  "fig3_edp_gain"
+  "fig3_edp_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_edp_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

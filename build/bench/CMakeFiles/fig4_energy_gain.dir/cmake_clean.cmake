@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_energy_gain.dir/fig4_energy_gain.cc.o"
+  "CMakeFiles/fig4_energy_gain.dir/fig4_energy_gain.cc.o.d"
+  "fig4_energy_gain"
+  "fig4_energy_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_energy_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_perf_gain.dir/fig5_perf_gain.cc.o"
+  "CMakeFiles/fig5_perf_gain.dir/fig5_perf_gain.cc.o.d"
+  "fig5_perf_gain"
+  "fig5_perf_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_perf_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

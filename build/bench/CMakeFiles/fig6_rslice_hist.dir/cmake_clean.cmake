@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_rslice_hist.dir/fig6_rslice_hist.cc.o"
+  "CMakeFiles/fig6_rslice_hist.dir/fig6_rslice_hist.cc.o.d"
+  "fig6_rslice_hist"
+  "fig6_rslice_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_rslice_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

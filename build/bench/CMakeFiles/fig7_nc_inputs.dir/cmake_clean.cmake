@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_nc_inputs.dir/fig7_nc_inputs.cc.o"
+  "CMakeFiles/fig7_nc_inputs.dir/fig7_nc_inputs.cc.o.d"
+  "fig7_nc_inputs"
+  "fig7_nc_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_nc_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_value_locality.dir/fig8_value_locality.cc.o"
+  "CMakeFiles/fig8_value_locality.dir/fig8_value_locality.cc.o.d"
+  "fig8_value_locality"
+  "fig8_value_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_value_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_tech_energy.dir/table1_tech_energy.cc.o"
+  "CMakeFiles/table1_tech_energy.dir/table1_tech_energy.cc.o.d"
+  "table1_tech_energy"
+  "table1_tech_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_tech_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_instr_mix.dir/table4_instr_mix.cc.o"
+  "CMakeFiles/table4_instr_mix.dir/table4_instr_mix.cc.o.d"
+  "table4_instr_mix"
+  "table4_instr_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_instr_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

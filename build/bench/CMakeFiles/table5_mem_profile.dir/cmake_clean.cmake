@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_mem_profile.dir/table5_mem_profile.cc.o"
+  "CMakeFiles/table5_mem_profile.dir/table5_mem_profile.cc.o.d"
+  "table5_mem_profile"
+  "table5_mem_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_mem_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_breakeven.dir/table6_breakeven.cc.o"
+  "CMakeFiles/table6_breakeven.dir/table6_breakeven.cc.o.d"
+  "table6_breakeven"
+  "table6_breakeven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_breakeven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

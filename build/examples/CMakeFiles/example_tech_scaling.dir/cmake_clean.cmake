@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tech_scaling.dir/tech_scaling.cpp.o"
+  "CMakeFiles/example_tech_scaling.dir/tech_scaling.cpp.o.d"
+  "example_tech_scaling"
+  "example_tech_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tech_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

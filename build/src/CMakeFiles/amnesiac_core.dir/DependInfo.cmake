@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/amnesic_machine.cc" "src/CMakeFiles/amnesiac_core.dir/core/amnesic_machine.cc.o" "gcc" "src/CMakeFiles/amnesiac_core.dir/core/amnesic_machine.cc.o.d"
+  "/root/repo/src/core/compiler.cc" "src/CMakeFiles/amnesiac_core.dir/core/compiler.cc.o" "gcc" "src/CMakeFiles/amnesiac_core.dir/core/compiler.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/CMakeFiles/amnesiac_core.dir/core/cost_model.cc.o" "gcc" "src/CMakeFiles/amnesiac_core.dir/core/cost_model.cc.o.d"
+  "/root/repo/src/core/dry_run.cc" "src/CMakeFiles/amnesiac_core.dir/core/dry_run.cc.o" "gcc" "src/CMakeFiles/amnesiac_core.dir/core/dry_run.cc.o.d"
+  "/root/repo/src/core/rslice.cc" "src/CMakeFiles/amnesiac_core.dir/core/rslice.cc.o" "gcc" "src/CMakeFiles/amnesiac_core.dir/core/rslice.cc.o.d"
+  "/root/repo/src/core/slice_builder.cc" "src/CMakeFiles/amnesiac_core.dir/core/slice_builder.cc.o" "gcc" "src/CMakeFiles/amnesiac_core.dir/core/slice_builder.cc.o.d"
+  "/root/repo/src/core/store_elimination.cc" "src/CMakeFiles/amnesiac_core.dir/core/store_elimination.cc.o" "gcc" "src/CMakeFiles/amnesiac_core.dir/core/store_elimination.cc.o.d"
+  "/root/repo/src/core/uarch.cc" "src/CMakeFiles/amnesiac_core.dir/core/uarch.cc.o" "gcc" "src/CMakeFiles/amnesiac_core.dir/core/uarch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/amnesiac_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amnesiac_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amnesiac_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amnesiac_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amnesiac_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/amnesiac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

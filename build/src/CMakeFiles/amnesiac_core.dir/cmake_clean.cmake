@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amnesiac_core.dir/core/amnesic_machine.cc.o"
+  "CMakeFiles/amnesiac_core.dir/core/amnesic_machine.cc.o.d"
+  "CMakeFiles/amnesiac_core.dir/core/compiler.cc.o"
+  "CMakeFiles/amnesiac_core.dir/core/compiler.cc.o.d"
+  "CMakeFiles/amnesiac_core.dir/core/cost_model.cc.o"
+  "CMakeFiles/amnesiac_core.dir/core/cost_model.cc.o.d"
+  "CMakeFiles/amnesiac_core.dir/core/dry_run.cc.o"
+  "CMakeFiles/amnesiac_core.dir/core/dry_run.cc.o.d"
+  "CMakeFiles/amnesiac_core.dir/core/rslice.cc.o"
+  "CMakeFiles/amnesiac_core.dir/core/rslice.cc.o.d"
+  "CMakeFiles/amnesiac_core.dir/core/slice_builder.cc.o"
+  "CMakeFiles/amnesiac_core.dir/core/slice_builder.cc.o.d"
+  "CMakeFiles/amnesiac_core.dir/core/store_elimination.cc.o"
+  "CMakeFiles/amnesiac_core.dir/core/store_elimination.cc.o.d"
+  "CMakeFiles/amnesiac_core.dir/core/uarch.cc.o"
+  "CMakeFiles/amnesiac_core.dir/core/uarch.cc.o.d"
+  "libamnesiac_core.a"
+  "libamnesiac_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amnesiac_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

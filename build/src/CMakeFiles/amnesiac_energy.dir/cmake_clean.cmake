@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amnesiac_energy.dir/energy/epi.cc.o"
+  "CMakeFiles/amnesiac_energy.dir/energy/epi.cc.o.d"
+  "CMakeFiles/amnesiac_energy.dir/energy/tech.cc.o"
+  "CMakeFiles/amnesiac_energy.dir/energy/tech.cc.o.d"
+  "libamnesiac_energy.a"
+  "libamnesiac_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amnesiac_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amnesiac_isa.dir/isa/disasm.cc.o"
+  "CMakeFiles/amnesiac_isa.dir/isa/disasm.cc.o.d"
+  "CMakeFiles/amnesiac_isa.dir/isa/instruction.cc.o"
+  "CMakeFiles/amnesiac_isa.dir/isa/instruction.cc.o.d"
+  "CMakeFiles/amnesiac_isa.dir/isa/opcode.cc.o"
+  "CMakeFiles/amnesiac_isa.dir/isa/opcode.cc.o.d"
+  "CMakeFiles/amnesiac_isa.dir/isa/program.cc.o"
+  "CMakeFiles/amnesiac_isa.dir/isa/program.cc.o.d"
+  "CMakeFiles/amnesiac_isa.dir/isa/program_builder.cc.o"
+  "CMakeFiles/amnesiac_isa.dir/isa/program_builder.cc.o.d"
+  "CMakeFiles/amnesiac_isa.dir/isa/serialize.cc.o"
+  "CMakeFiles/amnesiac_isa.dir/isa/serialize.cc.o.d"
+  "CMakeFiles/amnesiac_isa.dir/isa/verifier.cc.o"
+  "CMakeFiles/amnesiac_isa.dir/isa/verifier.cc.o.d"
+  "libamnesiac_isa.a"
+  "libamnesiac_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amnesiac_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

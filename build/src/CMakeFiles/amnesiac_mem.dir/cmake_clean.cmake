@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amnesiac_mem.dir/mem/cache.cc.o"
+  "CMakeFiles/amnesiac_mem.dir/mem/cache.cc.o.d"
+  "CMakeFiles/amnesiac_mem.dir/mem/hierarchy.cc.o"
+  "CMakeFiles/amnesiac_mem.dir/mem/hierarchy.cc.o.d"
+  "libamnesiac_mem.a"
+  "libamnesiac_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amnesiac_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amnesiac_profile.dir/profile/dep_tracker.cc.o"
+  "CMakeFiles/amnesiac_profile.dir/profile/dep_tracker.cc.o.d"
+  "CMakeFiles/amnesiac_profile.dir/profile/profiler.cc.o"
+  "CMakeFiles/amnesiac_profile.dir/profile/profiler.cc.o.d"
+  "CMakeFiles/amnesiac_profile.dir/profile/value_locality.cc.o"
+  "CMakeFiles/amnesiac_profile.dir/profile/value_locality.cc.o.d"
+  "libamnesiac_profile.a"
+  "libamnesiac_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amnesiac_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

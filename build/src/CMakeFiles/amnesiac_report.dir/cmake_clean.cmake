@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amnesiac_report.dir/report/experiment.cc.o"
+  "CMakeFiles/amnesiac_report.dir/report/experiment.cc.o.d"
+  "CMakeFiles/amnesiac_report.dir/report/figures.cc.o"
+  "CMakeFiles/amnesiac_report.dir/report/figures.cc.o.d"
+  "libamnesiac_report.a"
+  "libamnesiac_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amnesiac_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

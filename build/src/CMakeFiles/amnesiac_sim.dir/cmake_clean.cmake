@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amnesiac_sim.dir/sim/machine.cc.o"
+  "CMakeFiles/amnesiac_sim.dir/sim/machine.cc.o.d"
+  "CMakeFiles/amnesiac_sim.dir/sim/stats.cc.o"
+  "CMakeFiles/amnesiac_sim.dir/sim/stats.cc.o.d"
+  "libamnesiac_sim.a"
+  "libamnesiac_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amnesiac_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amnesiac_util.dir/util/histogram.cc.o"
+  "CMakeFiles/amnesiac_util.dir/util/histogram.cc.o.d"
+  "CMakeFiles/amnesiac_util.dir/util/logging.cc.o"
+  "CMakeFiles/amnesiac_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/amnesiac_util.dir/util/rng.cc.o"
+  "CMakeFiles/amnesiac_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/amnesiac_util.dir/util/table.cc.o"
+  "CMakeFiles/amnesiac_util.dir/util/table.cc.o.d"
+  "libamnesiac_util.a"
+  "libamnesiac_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amnesiac_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libamnesiac_util.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amnesiac_workloads.dir/workloads/kernels.cc.o"
+  "CMakeFiles/amnesiac_workloads.dir/workloads/kernels.cc.o.d"
+  "CMakeFiles/amnesiac_workloads.dir/workloads/paper_suite.cc.o"
+  "CMakeFiles/amnesiac_workloads.dir/workloads/paper_suite.cc.o.d"
+  "CMakeFiles/amnesiac_workloads.dir/workloads/registry.cc.o"
+  "CMakeFiles/amnesiac_workloads.dir/workloads/registry.cc.o.d"
+  "libamnesiac_workloads.a"
+  "libamnesiac_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amnesiac_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amnesic_machine_test.dir/amnesic_machine_test.cc.o"
+  "CMakeFiles/amnesic_machine_test.dir/amnesic_machine_test.cc.o.d"
+  "amnesic_machine_test"
+  "amnesic_machine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amnesic_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dep_tracker_test.dir/dep_tracker_test.cc.o"
+  "CMakeFiles/dep_tracker_test.dir/dep_tracker_test.cc.o.d"
+  "dep_tracker_test"
+  "dep_tracker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dep_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

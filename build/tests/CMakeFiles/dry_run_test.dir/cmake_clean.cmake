@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dry_run_test.dir/dry_run_test.cc.o"
+  "CMakeFiles/dry_run_test.dir/dry_run_test.cc.o.d"
+  "dry_run_test"
+  "dry_run_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dry_run_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rslice_test.dir/rslice_test.cc.o"
+  "CMakeFiles/rslice_test.dir/rslice_test.cc.o.d"
+  "rslice_test"
+  "rslice_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rslice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_elimination_test.dir/store_elimination_test.cc.o"
+  "CMakeFiles/store_elimination_test.dir/store_elimination_test.cc.o.d"
+  "store_elimination_test"
+  "store_elimination_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_elimination_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

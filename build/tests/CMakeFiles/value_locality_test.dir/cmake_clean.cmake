@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_locality_test.dir/value_locality_test.cc.o"
+  "CMakeFiles/value_locality_test.dir/value_locality_test.cc.o.d"
+  "value_locality_test"
+  "value_locality_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_locality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

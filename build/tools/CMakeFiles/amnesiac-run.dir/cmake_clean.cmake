@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amnesiac-run.dir/amnesiac_run.cc.o"
+  "CMakeFiles/amnesiac-run.dir/amnesiac_run.cc.o.d"
+  "amnesiac-run"
+  "amnesiac-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amnesiac-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
