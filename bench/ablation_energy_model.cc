@@ -13,10 +13,11 @@
 #include "util/table.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace amnesiac;
-    ExperimentConfig config;
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
+    ExperimentConfig config = args.config;
     bench::banner("Ablation: global vs per-site residence model", config);
 
     Table table({"bench", "Compiler EDP % (global model)",
@@ -24,7 +25,7 @@ main()
     for (const std::string &name : {std::string("sr"), std::string("bfs"),
                                     std::string("is"), std::string("mcf")}) {
         std::fprintf(stderr, "  [ablation] %s...\n", name.c_str());
-        Workload w = makePaperBenchmark(name);
+        Workload w = makePaperBenchmark(name, args.seed);
         ExperimentConfig global_cfg = config;
         global_cfg.compiler.globalResidenceModel = true;
         ExperimentConfig site_cfg = config;

@@ -12,13 +12,14 @@
 #include "workloads/registry.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace amnesiac;
-    ExperimentConfig config;
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
+    ExperimentConfig config = args.config;
     bench::banner("Ablation: Hist capacity vs recomputation coverage",
                   config);
-    Workload w = makeWorkload("hist-stress");
+    Workload w = makeWorkload("hist-stress", args.seed);
     ExperimentRunner base(config);
     AmnesicCompiler compiler(base.energyModel(), config.hierarchy,
                              config.compiler);

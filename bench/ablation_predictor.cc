@@ -13,10 +13,11 @@
 #include "util/table.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace amnesiac;
-    ExperimentConfig config;
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
+    ExperimentConfig config = args.config;
     bench::banner("Ablation: predictor policy vs FLC/LLC", config);
 
     Table table({"bench", "FLC EDP %", "LLC EDP %", "Predictor EDP %",
@@ -24,7 +25,7 @@ main()
     ExperimentRunner runner(config);
     for (const std::string &name : paperBenchmarkNames()) {
         std::fprintf(stderr, "  [predictor] %s...\n", name.c_str());
-        Workload w = makePaperBenchmark(name);
+        Workload w = makePaperBenchmark(name, args.seed);
         BenchmarkResult r = runner.run(
             w, {Policy::FLC, Policy::LLC, Policy::Predictor});
         // Re-run once more to read the predictor's accuracy counters.

@@ -11,12 +11,13 @@
 #include "util/table.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace amnesiac;
-    ExperimentConfig config;
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
+    ExperimentConfig config = args.config;
     bench::banner("Ablation: cache probe cost vs FLC/LLC gap", config);
-    Workload w = makePaperBenchmark("is");
+    Workload w = makePaperBenchmark("is", args.seed);
 
     Table table({"L2 access scale", "FLC EDP gain %", "LLC EDP gain %",
                  "gap"});

@@ -13,13 +13,15 @@
 #include "workloads/kernels.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace amnesiac;
-    ExperimentConfig config;
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
+    ExperimentConfig config = args.config;
     bench::banner("Ablation: slice length cap", config);
     WorkloadSpec spec;
     spec.name = "long-chain";
+    spec.seed = args.seed;
     spec.chains = {{48, true, 16, 9, 80, 0, 20000}};
     Workload w = buildWorkload(spec);
 

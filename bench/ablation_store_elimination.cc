@@ -14,10 +14,11 @@
 #include "util/table.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace amnesiac;
-    ExperimentConfig config;
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
+    ExperimentConfig config = args.config;
     bench::banner("Ablation: store elimination headroom (§1)", config);
 
     Table table({"bench", "elim. stores %", "elim. store energy %",
@@ -25,7 +26,7 @@ main()
     ExperimentRunner runner(config);
     for (const std::string &name : paperBenchmarkNames()) {
         std::fprintf(stderr, "  [store-elim] %s...\n", name.c_str());
-        Workload w = makePaperBenchmark(name);
+        Workload w = makePaperBenchmark(name, args.seed);
         AmnesicCompiler compiler(runner.energyModel(), config.hierarchy,
                                  config.compiler);
         CompileResult compiled = compiler.compile(w.program);

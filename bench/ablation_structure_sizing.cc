@@ -11,12 +11,13 @@
 #include "util/table.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace amnesiac;
-    ExperimentConfig config;
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
+    ExperimentConfig config = args.config;
     bench::banner("Ablation: SFile/IBuff capacity coverage", config);
-    auto results = bench::runSuite(config, {Policy::Compiler});
+    auto results = bench::runSuite(args, {Policy::Compiler});
 
     std::vector<std::uint32_t> lengths;
     for (const BenchmarkResult &result : results)

@@ -1,14 +1,18 @@
 /**
  * @file
  * Shared plumbing for the per-table/figure benchmark harnesses: builds
- * the 11-benchmark suite, runs the §5 pipeline, and prints the Table 3
- * configuration echo every harness leads with.
+ * the 11-benchmark suite, runs the §5 pipeline (fanned out over the
+ * experiment thread pool), parses the command-line knobs every harness
+ * shares, and prints the Table 3 configuration echo every harness
+ * leads with.
  */
 
 #ifndef AMNESIAC_BENCH_COMMON_H
 #define AMNESIAC_BENCH_COMMON_H
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -17,6 +21,56 @@
 #include "workloads/paper_suite.h"
 
 namespace amnesiac::bench {
+
+/** Everything a harness can be configured with from the command line. */
+struct BenchArgs
+{
+    ExperimentConfig config;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Parse the harness-wide flags shared by every bench binary:
+ *
+ *   --jobs <n>   worker threads for the experiment pipeline
+ *                (0 = hardware_concurrency, 1 = serial; default 0)
+ *   --seed <n>   workload seed (default 1)
+ *   --scale <x>  non-memory EPI scale, the §5.5 R knob
+ *
+ * Unknown flags abort with a usage message so typos never silently run
+ * the default experiment.
+ */
+inline BenchArgs
+parseArgs(int argc, char **argv)
+{
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: missing value for %s\n",
+                             argv[0], arg);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--jobs") == 0) {
+            args.config.jobs = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (std::strcmp(arg, "--seed") == 0) {
+            args.seed = std::strtoull(next(), nullptr, 10);
+        } else if (std::strcmp(arg, "--scale") == 0) {
+            args.config.energy.nonMemScale = std::strtod(next(), nullptr);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--jobs <n>] [--seed <n>] "
+                         "[--scale <x>]\n",
+                         argv[0]);
+            std::exit(2);
+        }
+    }
+    return args;
+}
 
 /** Print the standard harness banner. */
 inline void
@@ -28,7 +82,9 @@ banner(const std::string &title, const ExperimentConfig &config)
     std::printf("%s\n", renderArchitectureTable(config).c_str());
 }
 
-/** Run every paper benchmark through the given policies. */
+/** Run every paper benchmark through the given policies, fanned out
+ * over `config.jobs` workers (results are merged in suite order and
+ * are bit-identical to a serial run). */
 inline std::vector<BenchmarkResult>
 runSuite(const ExperimentConfig &config,
          const std::vector<Policy> &policies =
@@ -36,13 +92,21 @@ runSuite(const ExperimentConfig &config,
          std::uint64_t seed = 1)
 {
     ExperimentRunner runner(config);
-    std::vector<BenchmarkResult> results;
+    std::vector<Workload> workloads;
     for (const std::string &name : paperBenchmarkNames()) {
         std::fprintf(stderr, "  [suite] %s...\n", name.c_str());
-        results.push_back(
-            runner.run(makePaperBenchmark(name, seed), policies));
+        workloads.push_back(makePaperBenchmark(name, seed));
     }
-    return results;
+    return runner.runMany(workloads, policies);
+}
+
+/** runSuite with the parsed harness arguments (config + seed). */
+inline std::vector<BenchmarkResult>
+runSuite(const BenchArgs &args,
+         const std::vector<Policy> &policies =
+             {kAllPolicies, kAllPolicies + std::size(kAllPolicies)})
+{
+    return runSuite(args.config, policies, args.seed);
 }
 
 }  // namespace amnesiac::bench

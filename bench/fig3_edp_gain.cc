@@ -8,12 +8,13 @@
 #include "common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace amnesiac;
-    ExperimentConfig config;
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
+    ExperimentConfig config = args.config;
     bench::banner("Fig 3: EDP gain under amnesic execution (%)", config);
-    auto results = bench::runSuite(config);
+    auto results = bench::runSuite(args);
     std::printf("%s\n",
                 renderGainFigure(results, GainMetric::Edp).c_str());
     std::printf("Paper shape: is/mcf/ca largest; FLC >= LLC; only sr degrades, and\nonly under the Compiler policy; Oracle > C-Oracle for sx and cg.\n");

@@ -8,12 +8,13 @@
 #include "common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace amnesiac;
-    ExperimentConfig config;
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
+    ExperimentConfig config = args.config;
     bench::banner("Fig 5: reduction in execution time (%)", config);
-    auto results = bench::runSuite(config);
+    auto results = bench::runSuite(args);
     std::printf("%s\n",
                 renderGainFigure(results, GainMetric::Time).c_str());
     std::printf("Paper shape: tracks Fig 3 — loads are both energy-hungry and slow.\n");

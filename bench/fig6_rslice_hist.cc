@@ -9,12 +9,13 @@
 #include "common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace amnesiac;
-    ExperimentConfig config;
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
+    ExperimentConfig config = args.config;
     bench::banner("Fig 6: instructions per RSlice", config);
-    auto results = bench::runSuite(config, {Policy::Compiler});
+    auto results = bench::runSuite(args, {Policy::Compiler});
     double short_slices = 0.0, long_slices = 0.0, total = 0.0;
     for (const BenchmarkResult &result : results) {
         std::printf("%s\n", renderFig6(result).c_str());

@@ -9,13 +9,14 @@
 #include "common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace amnesiac;
-    ExperimentConfig config;
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
+    ExperimentConfig config = args.config;
     bench::banner("Fig 7: RSlices with non-recomputable leaf inputs",
                   config);
-    auto results = bench::runSuite(config, {Policy::Compiler});
+    auto results = bench::runSuite(args, {Policy::Compiler});
     std::printf("%s\n", renderFig7(results).c_str());
     std::printf(
         "Paper shape: the w/ nc class dominates everywhere except is\n"

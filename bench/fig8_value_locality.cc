@@ -10,12 +10,13 @@
 #include "common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace amnesiac;
-    ExperimentConfig config;
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
+    ExperimentConfig config = args.config;
     bench::banner("Fig 8: value locality of swapped loads", config);
-    auto results = bench::runSuite(config, {Policy::Compiler});
+    auto results = bench::runSuite(args, {Policy::Compiler});
     for (const BenchmarkResult &result : results)
         std::printf("%s\n", renderFig8(result).c_str());
     std::printf(

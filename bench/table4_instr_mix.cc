@@ -10,13 +10,14 @@
 #include "common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace amnesiac;
-    ExperimentConfig config;
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
+    ExperimentConfig config = args.config;
     bench::banner("Table 4: dynamic instruction mix and energy breakdown",
                   config);
-    auto results = bench::runSuite(config, {Policy::Compiler});
+    auto results = bench::runSuite(args, {Policy::Compiler});
     std::printf("%s\n", renderTable4(results).c_str());
     std::printf(
         "Paper shape: instruction count rises a few percent while the\n"

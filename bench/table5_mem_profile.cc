@@ -9,13 +9,14 @@
 #include "common.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace amnesiac;
-    ExperimentConfig config;
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
+    ExperimentConfig config = args.config;
     bench::banner("Table 5: residence profile of swapped loads", config);
     auto results = bench::runSuite(
-        config, {Policy::Compiler, Policy::FLC, Policy::LLC});
+        args, {Policy::Compiler, Policy::FLC, Policy::LLC});
     std::printf("%s\n", renderTable5(results).c_str());
     std::printf(
         "Paper shape: mcf/ca are DRAM-dominant, bfs/sr/rt are L1-\n"

@@ -16,10 +16,11 @@
 #include "util/table.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace amnesiac;
-    ExperimentConfig config;
+    bench::BenchArgs args = bench::parseArgs(argc, argv);
+    ExperimentConfig config = args.config;
     bench::banner("Table 6: break-even R (normalized to R_default)",
                   config);
     std::printf("R_default = EPI(int-alu) / EPI(DRAM load) = %.4f\n\n",
@@ -27,7 +28,7 @@ main()
     Table table({"Bench.", "Rbreakeven (normalized)"});
     for (const std::string &name : paperBenchmarkNames()) {
         std::fprintf(stderr, "  [table6] %s...\n", name.c_str());
-        Workload w = makePaperBenchmark(name);
+        Workload w = makePaperBenchmark(name, args.seed);
         double k = breakEvenScale(w, config, Policy::COracle, 256.0);
         table.row().cell(name);
         if (k >= 256.0)

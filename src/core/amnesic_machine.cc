@@ -8,9 +8,10 @@ AmnesicMachine::AmnesicMachine(const Program &program,
                                const EnergyModel &energy,
                                const AmnesicConfig &config,
                                const HierarchyConfig &hierarchy_config)
-    : Machine(program, energy, hierarchy_config), _config(config),
-      _sfile(config.sfileCapacity), _hist(config.histCapacity),
-      _ibuff(config.ibuffCapacity),
+    : Machine(program, energy, hierarchy_config,
+              static_cast<ExecutionHooks *>(this)),
+      _config(config), _sfile(config.sfileCapacity),
+      _hist(config.histCapacity), _ibuff(config.ibuffCapacity),
       _predictor(config.predictorLogEntries)
 {
     // Precompute per-slice runtime recomputation energy for the oracle
@@ -43,8 +44,11 @@ AmnesicMachine::AmnesicMachine(const Program &program,
 }
 
 void
-AmnesicMachine::execAmnesic(const Instruction &instr)
+AmnesicMachine::execAmnesic(ExecutionEngine &engine,
+                            const Instruction &instr)
 {
+    AMNESIAC_ASSERT(&engine == &this->engine(),
+                    "hooks bound to a foreign engine");
     switch (instr.op) {
       case Opcode::Rec:
         execRec(instr);
@@ -64,80 +68,84 @@ AmnesicMachine::execAmnesic(const Instruction &instr)
 void
 AmnesicMachine::execRec(const Instruction &instr)
 {
+    ExecutionEngine &e = engine();
     // REC is modeled after a store to L1-D (§4); it charges the store
     // bucket so Table 4's breakdown reflects the checkpoint traffic.
-    chargeEnergy(energyModel().instrEnergy(InstrCategory::Rec),
-                 &EnergyBreakdown::storeNj);
-    chargeCycles(energyModel().instrLatency(InstrCategory::Rec));
+    e.chargeEnergy(e.energyModel().instrEnergy(InstrCategory::Rec),
+                   &EnergyBreakdown::storeNj);
+    e.chargeCycles(e.energyModel().instrLatency(InstrCategory::Rec));
 
-    if (_hist.record(instr.leafAddr, readReg(instr.rs1),
-                     readReg(instr.rs2))) {
-        ++mutableStats().histWrites;
+    if (_hist.record(instr.leafAddr, e.readReg(instr.rs1),
+                     e.readReg(instr.rs2))) {
+        ++e.mutableStats().histWrites;
     } else {
         // §3.5: a failed REC poisons its slice; the matching RCMP must
         // skip recomputation from now on.
-        ++mutableStats().histOverflows;
+        ++e.mutableStats().histOverflows;
         _failedSlices.insert(instr.sliceId);
     }
-    setPc(pc() + 1);
+    e.setPc(e.pc() + 1);
 }
 
 void
 AmnesicMachine::execRcmp(const Instruction &instr)
 {
-    std::uint32_t rcmp_pc = pc();
-    std::uint64_t addr = effectiveAddr(instr);
-    ++mutableStats().rcmpSeen;
+    ExecutionEngine &e = engine();
+    std::uint32_t rcmp_pc = e.pc();
+    std::uint64_t addr = e.effectiveAddr(instr);
+    ++e.mutableStats().rcmpSeen;
 
     // The fused branch itself (§4: modeled after a conditional branch).
-    chargeNonMem(InstrCategory::Rcmp);
+    e.chargeNonMem(InstrCategory::Rcmp);
 
-    MemLevel residence = hierarchy().peekLevel(addr);
+    MemLevel residence = e.hierarchy().peekLevel(addr);
     bool recompute = !_failedSlices.count(instr.sliceId) &&
                      shouldRecompute(instr, addr, residence);
 
     if (recompute) {
-        _ibuff.fill(program().slices[instr.sliceId].length);
+        _ibuff.fill(e.program().slices[instr.sliceId].length);
         if (traverseSlice(instr, addr)) {
-            ++mutableStats().recomputations;
-            ++mutableStats().swappedByLevel[
+            ++e.mutableStats().recomputations;
+            ++e.mutableStats().swappedByLevel[
                 static_cast<std::size_t>(residence)];
-            setPc(rcmp_pc + 1);
+            e.setPc(rcmp_pc + 1);
             return;
         }
         recompute = false;  // aborted; fall back to the load
     }
 
-    performLoad(rcmp_pc, instr);
-    ++mutableStats().fallbackLoads;
-    ++mutableStats().fallbackByLevel[static_cast<std::size_t>(residence)];
-    setPc(rcmp_pc + 1);
+    e.performLoad(rcmp_pc, instr);
+    ++e.mutableStats().fallbackLoads;
+    ++e.mutableStats().fallbackByLevel[
+        static_cast<std::size_t>(residence)];
+    e.setPc(rcmp_pc + 1);
 }
 
 bool
 AmnesicMachine::shouldRecompute(const Instruction &instr,
                                 std::uint64_t addr, MemLevel residence)
 {
-    const EnergyModel &energy = energyModel();
+    ExecutionEngine &e = engine();
+    const EnergyModel &energy = e.energyModel();
     switch (_config.policy) {
       case Policy::Compiler:
         // Runtime-oblivious: every RCMP fires (§3.3.1).
         return true;
       case Policy::FLC:
-        if (hierarchy().probe(MemLevel::L1, addr))
+        if (e.hierarchy().probe(MemLevel::L1, addr))
             return false;  // the probe becomes the load's own L1 lookup
         // Miss: the probe energy is sunk on top of recomputation.
-        chargeEnergy(energy.probeEnergy(MemLevel::L1),
-                     &EnergyBreakdown::loadNj);
-        chargeCycles(energy.probeLatency(MemLevel::L1));
+        e.chargeEnergy(energy.probeEnergy(MemLevel::L1),
+                       &EnergyBreakdown::loadNj);
+        e.chargeCycles(energy.probeLatency(MemLevel::L1));
         return true;
       case Policy::LLC:
-        if (hierarchy().probe(MemLevel::L1, addr) ||
-            hierarchy().probe(MemLevel::L2, addr))
+        if (e.hierarchy().probe(MemLevel::L1, addr) ||
+            e.hierarchy().probe(MemLevel::L2, addr))
             return false;
-        chargeEnergy(energy.probeEnergy(MemLevel::L2),
-                     &EnergyBreakdown::loadNj);
-        chargeCycles(energy.probeLatency(MemLevel::L2));
+        e.chargeEnergy(energy.probeEnergy(MemLevel::L2),
+                       &EnergyBreakdown::loadNj);
+        e.chargeCycles(energy.probeLatency(MemLevel::L2));
         return true;
       case Policy::COracle:
       case Policy::Oracle:
@@ -149,10 +157,10 @@ AmnesicMachine::shouldRecompute(const Instruction &instr,
         // predictor instead of a probe — no probe energy or latency.
         // Training feedback is the observed residence (idealized for
         // recomputed instances; fallback loads observe it naturally).
-        bool predicted_miss = _predictor.predictMiss(pc());
+        bool predicted_miss = _predictor.predictMiss(e.pc());
         bool actual_miss = residence != MemLevel::L1;
         _predictor.account(predicted_miss, actual_miss);
-        _predictor.train(pc(), actual_miss);
+        _predictor.train(e.pc(), actual_miss);
         return predicted_miss;
       }
     }
@@ -162,14 +170,15 @@ AmnesicMachine::shouldRecompute(const Instruction &instr,
 bool
 AmnesicMachine::traverseSlice(const Instruction &rcmp, std::uint64_t addr)
 {
-    const RSliceMeta &meta = program().slices[rcmp.sliceId];
+    ExecutionEngine &e = engine();
+    const RSliceMeta &meta = e.program().slices[rcmp.sliceId];
     _sfile.beginSlice();
     _renamer.beginSlice();
 
     std::uint64_t root_value = 0;
     for (std::uint32_t spc = meta.entry; spc < meta.entry + meta.length;
          ++spc) {
-        const Instruction &si = program().code[spc];
+        const Instruction &si = e.program().code[spc];
         std::uint64_t in[2] = {0, 0};
         bool hist_read_done = false;
         int sources = numSources(si.op);
@@ -186,20 +195,20 @@ AmnesicMachine::traverseSlice(const Instruction &rcmp, std::uint64_t addr)
                 break;
               }
               case OperandSource::Live:
-                in[k] = readReg(reg);
+                in[k] = e.readReg(reg);
                 break;
               case OperandSource::Hist: {
                 const Hist::Entry *entry = _hist.lookup(spc);
                 if (!entry) {
                     // The leaf's producer has not run yet: Condition-II
                     // unmet, perform the load instead.
-                    ++mutableStats().histMissFallbacks;
+                    ++e.mutableStats().histMissFallbacks;
                     return false;
                 }
                 if (!hist_read_done) {
-                    chargeEnergy(energyModel().histAccessEnergy(),
-                                 &EnergyBreakdown::histReadNj);
-                    ++mutableStats().histReads;
+                    e.chargeEnergy(e.energyModel().histAccessEnergy(),
+                                   &EnergyBreakdown::histReadNj);
+                    ++e.mutableStats().histReads;
                     hist_read_done = true;
                 }
                 in[k] = entry->values[static_cast<std::size_t>(k)];
@@ -207,42 +216,43 @@ AmnesicMachine::traverseSlice(const Instruction &rcmp, std::uint64_t addr)
               }
             }
         }
-        std::uint64_t value = evalAlu(si.op, in[0], in[1], si.imm);
+        std::uint64_t value = ExecutionEngine::evalAlu(si.op, in[0], in[1],
+                                                       si.imm);
         auto slot = _sfile.alloc(value);
         if (!slot) {
             // §3.4 capacity overflow: poison the slice so later RCMPs
             // skip straight to the load.
-            ++mutableStats().sfileAborts;
+            ++e.mutableStats().sfileAborts;
             _failedSlices.insert(rcmp.sliceId);
             return false;
         }
         _renamer.bind(si.rd, *slot);
         root_value = value;
 
-        chargeNonMem(categoryOf(si.op));
-        ++mutableStats().dynInstrs;
-        ++mutableStats().perCategory[static_cast<std::size_t>(
+        e.chargeNonMem(categoryOf(si.op));
+        ++e.mutableStats().dynInstrs;
+        ++e.mutableStats().perCategory[static_cast<std::size_t>(
             categoryOf(si.op))];
-        ++mutableStats().recomputedInstrs;
+        ++e.mutableStats().recomputedInstrs;
     }
 
     // The closing RTN (§4: modeled after a jump).
-    chargeNonMem(InstrCategory::Rtn);
-    ++mutableStats().dynInstrs;
-    ++mutableStats().perCategory[static_cast<std::size_t>(
+    e.chargeNonMem(InstrCategory::Rtn);
+    ++e.mutableStats().dynInstrs;
+    ++e.mutableStats().perCategory[static_cast<std::size_t>(
         InstrCategory::Rtn)];
 
     // "Before return, the recomputed data value v gets copied into the
     // destination register of the eliminated load" (§3.3.2).
-    writeReg(rcmp.rd, root_value);
+    e.writeReg(rcmp.rd, root_value);
 
     if (_config.shadowCheck) {
-        ++mutableStats().recomputeChecked;
-        if (root_value != memRead(addr)) {
-            ++mutableStats().recomputeMismatches;
+        ++e.mutableStats().recomputeChecked;
+        if (root_value != e.memRead(addr)) {
+            ++e.mutableStats().recomputeMismatches;
             if (_config.strictMismatch)
                 AMNESIAC_PANIC("recomputed value mismatch at pc " +
-                               std::to_string(pc()));
+                               std::to_string(e.pc()));
         }
     }
     return true;

@@ -54,8 +54,13 @@ struct AmnesicConfig
  * (with *no* cache fill — the temporal-locality cost of recomputation
  * is modeled); RTN copies the root value into the eliminated load's
  * destination register.
+ *
+ * Implementation-wise this is the ExecutionHooks strategy the shared
+ * ExecutionEngine calls back into for amnesic opcodes — the §3.2
+ * structures (SFile/Renamer/Hist/IBuff) live here, the interpreter
+ * loop lives once in src/sim.
  */
-class AmnesicMachine : public Machine
+class AmnesicMachine : public Machine, private ExecutionHooks
 {
   public:
     AmnesicMachine(const Program &program, const EnergyModel &energy,
@@ -71,10 +76,10 @@ class AmnesicMachine : public Machine
     /** Slices currently poisoned by failed RECs or SFile overflow. */
     std::size_t failedSliceCount() const { return _failedSlices.size(); }
 
-  protected:
-    void execAmnesic(const Instruction &instr) override;
-
   private:
+    void execAmnesic(ExecutionEngine &engine,
+                     const Instruction &instr) override;
+
     void execRec(const Instruction &instr);
     void execRcmp(const Instruction &instr);
     /** Decide per §3.3.1. Probes are charged here. */

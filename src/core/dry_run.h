@@ -50,9 +50,9 @@ class DryRunValidator : public MachineObserver
     /** @param candidates candidate slices, one per (distinct) load pc */
     explicit DryRunValidator(const std::vector<RSlice> &candidates);
 
-    void onExec(const Machine &m, std::uint32_t pc,
+    void onExec(const ExecutionEngine &m, std::uint32_t pc,
                 const Instruction &instr) override;
-    void onLoad(const Machine &m, std::uint32_t pc, std::uint64_t addr,
+    void onLoad(const ExecutionEngine &m, std::uint32_t pc, std::uint64_t addr,
                 std::uint64_t value, MemLevel serviced) override;
 
     /** Result for the candidate replacing the load at `load_pc`. */

@@ -37,7 +37,7 @@ SiteProfile::stability() const
 Profiler::Profiler(const ProfilerConfig &config) : _config(config) {}
 
 void
-Profiler::onExec(const Machine &m, std::uint32_t pc,
+Profiler::onExec(const ExecutionEngine &m, std::uint32_t pc,
                  const Instruction &instr)
 {
     ++_execCounts[pc];
@@ -53,7 +53,7 @@ Profiler::onExec(const Machine &m, std::uint32_t pc,
 }
 
 void
-Profiler::onLoad(const Machine &m, std::uint32_t pc, std::uint64_t addr,
+Profiler::onLoad(const ExecutionEngine &m, std::uint32_t pc, std::uint64_t addr,
                  std::uint64_t value, MemLevel serviced)
 {
     (void)m;
@@ -75,7 +75,7 @@ Profiler::onLoad(const Machine &m, std::uint32_t pc, std::uint64_t addr,
 }
 
 void
-Profiler::onStore(const Machine &m, std::uint32_t pc, std::uint64_t addr,
+Profiler::onStore(const ExecutionEngine &m, std::uint32_t pc, std::uint64_t addr,
                   std::uint64_t value, MemLevel serviced)
 {
     (void)value;
@@ -102,7 +102,7 @@ sigMix(std::uint64_t h, std::uint64_t v)
  * different even though the buildable slice is identical.
  */
 std::uint64_t
-liveCutSignature(const Machine &m, const DepTracker &tracker,
+liveCutSignature(const ExecutionEngine &m, const DepTracker &tracker,
                  const NodePtr &node, int depth_left, int &nodes_left)
 {
     if (!node)
@@ -134,7 +134,7 @@ liveCutSignature(const Machine &m, const DepTracker &tracker,
 }  // namespace
 
 void
-Profiler::analyzeTree(const Machine &m, SiteProfile &site,
+Profiler::analyzeTree(const ExecutionEngine &m, SiteProfile &site,
                       const NodePtr &root)
 {
     int sig_nodes_left = _config.maxTreeNodes;
@@ -158,7 +158,7 @@ Profiler::analyzeTree(const Machine &m, SiteProfile &site,
 }
 
 void
-Profiler::collectLiveStats(const Machine &m, SiteProfile &site,
+Profiler::collectLiveStats(const ExecutionEngine &m, SiteProfile &site,
                            const NodePtr &node, int depth_left,
                            int &nodes_left)
 {

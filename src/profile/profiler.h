@@ -101,11 +101,11 @@ class Profiler : public MachineObserver
   public:
     explicit Profiler(const ProfilerConfig &config = {});
 
-    void onExec(const Machine &m, std::uint32_t pc,
+    void onExec(const ExecutionEngine &m, std::uint32_t pc,
                 const Instruction &instr) override;
-    void onLoad(const Machine &m, std::uint32_t pc, std::uint64_t addr,
+    void onLoad(const ExecutionEngine &m, std::uint32_t pc, std::uint64_t addr,
                 std::uint64_t value, MemLevel serviced) override;
-    void onStore(const Machine &m, std::uint32_t pc, std::uint64_t addr,
+    void onStore(const ExecutionEngine &m, std::uint32_t pc, std::uint64_t addr,
                  std::uint64_t value, MemLevel serviced) override;
 
     /** Profile of one load site (nullptr if the site never executed). */
@@ -121,9 +121,9 @@ class Profiler : public MachineObserver
     const DepTracker &tracker() const { return _tracker; }
 
   private:
-    void analyzeTree(const Machine &m, SiteProfile &site,
+    void analyzeTree(const ExecutionEngine &m, SiteProfile &site,
                      const NodePtr &root);
-    void collectLiveStats(const Machine &m, SiteProfile &site,
+    void collectLiveStats(const ExecutionEngine &m, SiteProfile &site,
                           const NodePtr &node, int depth_left,
                           int &nodes_left);
 

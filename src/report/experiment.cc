@@ -56,6 +56,78 @@ ExperimentRunner::runAmnesic(const Program &program, Policy policy) const
     return machine.stats();
 }
 
+unsigned
+ExperimentRunner::effectiveJobs() const
+{
+    return _config.jobs == 0 ? ThreadPool::defaultThreadCount()
+                             : _config.jobs;
+}
+
+void
+ExperimentRunner::prepare(BenchmarkResult &result,
+                          const Workload &workload,
+                          const std::vector<Policy> &policies,
+                          ThreadPool *pool) const
+{
+    result.name = workload.name;
+
+    bool need_oracle = std::any_of(policies.begin(), policies.end(),
+                                   needsOracleSet);
+    bool need_normal = !std::all_of(policies.begin(), policies.end(),
+                                    needsOracleSet);
+
+    CompilerConfig compiler_config = _config.compiler;
+    compiler_config.runLimit = _config.runLimit;
+
+    // Three independent jobs: the classic reference run and the two
+    // compiles (each compile internally replays the program to profile
+    // and dry-run-validate it). Their outputs land in disjoint fields.
+    std::vector<std::function<void()>> tasks;
+    tasks.push_back([this, &result, &workload] {
+        result.classic = runClassic(workload.program);
+    });
+    if (need_normal)
+        tasks.push_back([this, &result, &workload, compiler_config]() {
+            CompilerConfig cfg = compiler_config;
+            cfg.oracleSet = false;
+            AmnesicCompiler compiler(energyModel(), _config.hierarchy,
+                                     cfg);
+            result.compiled = compiler.compile(workload.program);
+        });
+    if (need_oracle)
+        tasks.push_back([this, &result, &workload, compiler_config]() {
+            CompilerConfig cfg = compiler_config;
+            cfg.oracleSet = true;
+            AmnesicCompiler compiler(energyModel(), _config.hierarchy,
+                                     cfg);
+            result.oracleCompiled = compiler.compile(workload.program);
+        });
+    parallelFor(pool, tasks.size(),
+                [&tasks](std::size_t i) { tasks[i](); });
+}
+
+PolicyOutcome
+ExperimentRunner::runPolicy(const BenchmarkResult &prepared,
+                            Policy policy) const
+{
+    EnergyModel energy = energyModel();
+    const Program &binary = needsOracleSet(policy)
+        ? prepared.oracleCompiled.program : prepared.compiled.program;
+    PolicyOutcome outcome;
+    outcome.policy = policy;
+    outcome.stats = runAmnesic(binary, policy);
+    outcome.edpGainPct =
+        gainPercent(prepared.classic.edp(energy),
+                    outcome.stats.edp(energy));
+    outcome.energyGainPct =
+        gainPercent(prepared.classic.energyNj(),
+                    outcome.stats.energyNj());
+    outcome.perfGainPct =
+        gainPercent(prepared.classic.timeSeconds(energy),
+                    outcome.stats.timeSeconds(energy));
+    return outcome;
+}
+
 BenchmarkResult
 ExperimentRunner::run(const Workload &workload) const
 {
@@ -67,49 +139,59 @@ BenchmarkResult
 ExperimentRunner::run(const Workload &workload,
                       const std::vector<Policy> &policies) const
 {
+    unsigned jobs = effectiveJobs();
+    std::optional<ThreadPool> pool;
+    if (jobs > 1)
+        pool.emplace(jobs);
+
     BenchmarkResult result;
-    result.name = workload.name;
-    result.classic = runClassic(workload.program);
+    prepare(result, workload, policies, pool ? &*pool : nullptr);
 
-    EnergyModel energy = energyModel();
-    bool need_oracle = std::any_of(policies.begin(), policies.end(),
-                                   needsOracleSet);
-    bool need_normal = !std::all_of(policies.begin(), policies.end(),
-                                    needsOracleSet);
-
-    CompilerConfig compiler_config = _config.compiler;
-    compiler_config.runLimit = _config.runLimit;
-    if (need_normal) {
-        compiler_config.oracleSet = false;
-        AmnesicCompiler compiler(energy, _config.hierarchy,
-                                 compiler_config);
-        result.compiled = compiler.compile(workload.program);
-    }
-    if (need_oracle) {
-        compiler_config.oracleSet = true;
-        AmnesicCompiler compiler(energy, _config.hierarchy,
-                                 compiler_config);
-        result.oracleCompiled = compiler.compile(workload.program);
-    }
-
-    double classic_edp = result.classic.edp(energy);
-    double classic_energy = result.classic.energyNj();
-    double classic_time = result.classic.timeSeconds(energy);
-    for (Policy policy : policies) {
-        const Program &binary = needsOracleSet(policy)
-            ? result.oracleCompiled.program : result.compiled.program;
-        PolicyOutcome outcome;
-        outcome.policy = policy;
-        outcome.stats = runAmnesic(binary, policy);
-        outcome.edpGainPct =
-            gainPercent(classic_edp, outcome.stats.edp(energy));
-        outcome.energyGainPct =
-            gainPercent(classic_energy, outcome.stats.energyNj());
-        outcome.perfGainPct =
-            gainPercent(classic_time, outcome.stats.timeSeconds(energy));
-        result.policies.push_back(std::move(outcome));
-    }
+    result.policies.resize(policies.size());
+    parallelFor(pool ? &*pool : nullptr, policies.size(),
+                [this, &result, &policies](std::size_t i) {
+                    result.policies[i] = runPolicy(result, policies[i]);
+                });
     return result;
+}
+
+std::vector<BenchmarkResult>
+ExperimentRunner::runMany(const std::vector<Workload> &workloads,
+                          const std::vector<Policy> &policies) const
+{
+    unsigned jobs = effectiveJobs();
+    if (jobs <= 1) {
+        std::vector<BenchmarkResult> results;
+        results.reserve(workloads.size());
+        for (const Workload &workload : workloads)
+            results.push_back(run(workload, policies));
+        return results;
+    }
+
+    ThreadPool pool(jobs);
+    std::vector<BenchmarkResult> results(workloads.size());
+
+    // Phase 1 — per-workload preparation (classic run + compiles), one
+    // task per workload: coarse enough to keep every core busy without
+    // oversubscribing the compile replays.
+    parallelFor(&pool, workloads.size(),
+                [this, &results, &workloads, &policies](std::size_t i) {
+                    prepare(results[i], workloads[i], policies, nullptr);
+                });
+
+    // Phase 2 — the flattened (workload × policy) matrix. Every cell
+    // writes its own pre-allocated slot, so the merge order is the
+    // input order regardless of scheduling.
+    for (BenchmarkResult &result : results)
+        result.policies.resize(policies.size());
+    parallelFor(&pool, workloads.size() * policies.size(),
+                [this, &results, &policies](std::size_t cell) {
+                    std::size_t w = cell / policies.size();
+                    std::size_t p = cell % policies.size();
+                    results[w].policies[p] =
+                        runPolicy(results[w], policies[p]);
+                });
+    return results;
 }
 
 double

@@ -16,6 +16,7 @@
 #include "core/amnesic_machine.h"
 #include "core/compiler.h"
 #include "core/policy.h"
+#include "util/thread_pool.h"
 #include "workloads/workload.h"
 
 namespace amnesiac {
@@ -28,6 +29,15 @@ struct ExperimentConfig
     CompilerConfig compiler;
     AmnesicConfig amnesic;
     std::uint64_t runLimit = 1ull << 32;
+    /**
+     * Worker threads for the experiment pipeline: the (workload ×
+     * policy) simulation matrix fans out across a thread pool.
+     * 0 = hardware_concurrency, 1 = the exact pre-pool serial path.
+     * Serial and parallel runs produce bit-identical stats (every job
+     * is an independent deterministic simulation merged in input
+     * order).
+     */
+    unsigned jobs = 0;
 };
 
 /** One policy's run and its gains over classic execution (§5.1). */
@@ -75,6 +85,15 @@ class ExperimentRunner
     BenchmarkResult run(const Workload &workload,
                         const std::vector<Policy> &policies) const;
 
+    /**
+     * The full (workload × policy) matrix, fanned out over
+     * `config().jobs` workers and merged in input order — results are
+     * bit-identical to calling run() per workload serially.
+     */
+    std::vector<BenchmarkResult>
+    runMany(const std::vector<Workload> &workloads,
+            const std::vector<Policy> &policies) const;
+
     /** Classic-only simulation of a program. */
     SimStats runClassic(const Program &program) const;
 
@@ -84,7 +103,18 @@ class ExperimentRunner
     const ExperimentConfig &config() const { return _config; }
     EnergyModel energyModel() const { return EnergyModel(_config.energy); }
 
+    /** The worker count `config().jobs` resolves to on this host. */
+    unsigned effectiveJobs() const;
+
   private:
+    /** Classic run + the compiles the policy list needs. */
+    void prepare(BenchmarkResult &result, const Workload &workload,
+                 const std::vector<Policy> &policies,
+                 ThreadPool *pool) const;
+    /** One (prepared workload, policy) cell of the §5 matrix. */
+    PolicyOutcome runPolicy(const BenchmarkResult &prepared,
+                            Policy policy) const;
+
     ExperimentConfig _config;
 };
 

@@ -1,0 +1,248 @@
+#include "sim/execution_engine.h"
+
+#include <bit>
+
+#include "util/logging.h"
+
+namespace amnesiac {
+
+ExecutionEngine::ExecutionEngine(const Program &program,
+                                 const EnergyModel &energy,
+                                 const HierarchyConfig &hierarchy_config,
+                                 ExecutionHooks *hooks)
+    : _program(program), _energy(energy), _hierarchy(hierarchy_config),
+      _memory(program.dataImage), _hooks(hooks)
+{
+    AMNESIAC_ASSERT(!program.code.empty(), "empty program");
+}
+
+void
+ExecutionEngine::run(std::uint64_t max_instrs)
+{
+    std::uint64_t executed = 0;
+    while (!_halted) {
+        if (++executed > max_instrs)
+            AMNESIAC_FATAL("program '" + _program.name +
+                           "' exceeded the instruction limit — "
+                           "likely an infinite loop");
+        step();
+    }
+}
+
+bool
+ExecutionEngine::step()
+{
+    if (_halted)
+        return false;
+    AMNESIAC_ASSERT(_pc < _program.code.size(), "pc out of range");
+    const Instruction &instr = _program.code[_pc];
+    if (_observer)
+        _observer->onExec(*this, _pc, instr);
+    execOne(instr);
+    return !_halted;
+}
+
+void
+ExecutionEngine::writeReg(Reg r, std::uint64_t value)
+{
+    AMNESIAC_ASSERT(r < kNumRegs, "register index out of range");
+    _regs[r] = value;
+}
+
+std::uint64_t
+ExecutionEngine::readReg(Reg r) const
+{
+    AMNESIAC_ASSERT(r < kNumRegs, "register index out of range");
+    return _regs[r];
+}
+
+std::uint64_t
+ExecutionEngine::effectiveAddr(const Instruction &instr) const
+{
+    std::uint64_t addr = readReg(instr.rs1) +
+                         static_cast<std::uint64_t>(instr.imm);
+    if (addr % 8 != 0)
+        AMNESIAC_FATAL("unaligned 8-byte access at pc " +
+                       std::to_string(_pc));
+    return addr;
+}
+
+std::uint64_t
+ExecutionEngine::memRead(std::uint64_t addr) const
+{
+    std::uint64_t word = addr / 8;
+    if (word >= _memory.size())
+        AMNESIAC_FATAL("load beyond data memory (addr " +
+                       std::to_string(addr) + ")");
+    return _memory[word];
+}
+
+void
+ExecutionEngine::memWrite(std::uint64_t addr, std::uint64_t value)
+{
+    std::uint64_t word = addr / 8;
+    if (word >= _memory.size())
+        AMNESIAC_FATAL("store beyond data memory (addr " +
+                       std::to_string(addr) + ")");
+    _memory[word] = value;
+}
+
+std::uint64_t
+ExecutionEngine::performLoad(std::uint32_t pc, const Instruction &instr)
+{
+    std::uint64_t addr = effectiveAddr(instr);
+    HierarchyAccess access = _hierarchy.read(addr);
+    std::uint64_t value = memRead(addr);
+    writeReg(instr.rd, value);
+
+    ++_stats.dynLoads;
+    chargeEnergy(_energy.loadEnergy(access.servicedBy),
+                 &EnergyBreakdown::loadNj);
+    chargeCycles(_energy.loadLatency(access.servicedBy));
+    chargeWritebacks(access);
+    if (_observer)
+        _observer->onLoad(*this, pc, addr, value, access.servicedBy);
+    return value;
+}
+
+std::uint64_t
+ExecutionEngine::evalAlu(Opcode op, std::uint64_t a, std::uint64_t b,
+                         std::int64_t imm)
+{
+    auto fp = [](std::uint64_t bits) { return std::bit_cast<double>(bits); };
+    auto fpBits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+    switch (op) {
+      case Opcode::Li:   return static_cast<std::uint64_t>(imm);
+      case Opcode::Mov:  return a;
+      case Opcode::Add:  return a + b;
+      case Opcode::Sub:  return a - b;
+      case Opcode::Mul:  return a * b;
+      // Division by zero is defined as all-ones (no trap in this ISA).
+      case Opcode::Divu: return b ? a / b : ~0ull;
+      case Opcode::And:  return a & b;
+      case Opcode::Or:   return a | b;
+      case Opcode::Xor:  return a ^ b;
+      case Opcode::Shl:  return a << (b & 63);
+      case Opcode::Shr:  return a >> (b & 63);
+      case Opcode::Fadd: return fpBits(fp(a) + fp(b));
+      case Opcode::Fsub: return fpBits(fp(a) - fp(b));
+      case Opcode::Fmul: return fpBits(fp(a) * fp(b));
+      case Opcode::Fdiv: return fpBits(fp(a) / fp(b));
+      default:
+        AMNESIAC_PANIC("evalAlu: not an ALU opcode");
+    }
+}
+
+void
+ExecutionEngine::chargeNonMem(InstrCategory cat)
+{
+    chargeEnergy(_energy.instrEnergy(cat), &EnergyBreakdown::nonMemNj);
+    chargeCycles(_energy.instrLatency(cat));
+}
+
+void
+ExecutionEngine::chargeWritebacks(const HierarchyAccess &access)
+{
+    if (access.l1Writeback)
+        chargeEnergy(_energy.writebackEnergy(MemLevel::L2),
+                     &EnergyBreakdown::storeNj);
+    if (access.l2Writeback)
+        chargeEnergy(_energy.writebackEnergy(MemLevel::Memory),
+                     &EnergyBreakdown::storeNj);
+}
+
+void
+ExecutionEngine::chargeEnergy(double nj, double EnergyBreakdown::*bucket)
+{
+    _stats.energy.*bucket += nj;
+}
+
+void
+ExecutionEngine::execOne(const Instruction &instr)
+{
+    ++_stats.dynInstrs;
+    ++_stats.perCategory[static_cast<std::size_t>(instr.category())];
+    std::uint32_t next_pc = _pc + 1;
+
+    switch (instr.op) {
+      case Opcode::Nop:
+        chargeNonMem(InstrCategory::Nop);
+        break;
+      case Opcode::Li:
+      case Opcode::Mov:
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Divu:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::Fadd:
+      case Opcode::Fsub:
+      case Opcode::Fmul:
+      case Opcode::Fdiv:
+        writeReg(instr.rd,
+                 evalAlu(instr.op, readReg(instr.rs1), readReg(instr.rs2),
+                         instr.imm));
+        chargeNonMem(instr.category());
+        break;
+      case Opcode::Ld:
+        performLoad(_pc, instr);
+        break;
+      case Opcode::St: {
+        std::uint64_t addr = effectiveAddr(instr);
+        std::uint64_t value = readReg(instr.rs2);
+        memWrite(addr, value);
+        HierarchyAccess access = _hierarchy.write(addr);
+        ++_stats.dynStores;
+        chargeEnergy(_energy.storeEnergy(access.servicedBy),
+                     &EnergyBreakdown::storeNj);
+        chargeCycles(_energy.storeLatency(access.servicedBy));
+        chargeWritebacks(access);
+        if (_observer)
+            _observer->onStore(*this, _pc, addr, value,
+                               access.servicedBy);
+        break;
+      }
+      case Opcode::Beq:
+        if (readReg(instr.rs1) == readReg(instr.rs2))
+            next_pc = instr.target;
+        chargeNonMem(InstrCategory::Branch);
+        break;
+      case Opcode::Bne:
+        if (readReg(instr.rs1) != readReg(instr.rs2))
+            next_pc = instr.target;
+        chargeNonMem(InstrCategory::Branch);
+        break;
+      case Opcode::Blt:
+        if (static_cast<std::int64_t>(readReg(instr.rs1)) <
+            static_cast<std::int64_t>(readReg(instr.rs2)))
+            next_pc = instr.target;
+        chargeNonMem(InstrCategory::Branch);
+        break;
+      case Opcode::Jmp:
+        next_pc = instr.target;
+        chargeNonMem(InstrCategory::Jump);
+        break;
+      case Opcode::Halt:
+        _halted = true;
+        chargeNonMem(InstrCategory::Jump);
+        break;
+      case Opcode::Rcmp:
+      case Opcode::Rec:
+      case Opcode::Rtn:
+        if (!_hooks)
+            AMNESIAC_FATAL(std::string("classic execution cannot handle "
+                                       "amnesic opcode '") +
+                           std::string(mnemonic(instr.op)) + "'");
+        _hooks->execAmnesic(*this, instr);
+        return;  // the hook manages pc itself
+      default:
+        AMNESIAC_PANIC("execOne: bad opcode");
+    }
+    _pc = next_pc;
+}
+
+}  // namespace amnesiac

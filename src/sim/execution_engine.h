@@ -1,0 +1,181 @@
+/**
+ * @file
+ * The one interpreter core shared by every execution mode: an in-order
+ * scalar functional + timing + energy fetch/decode/execute/memory loop
+ * for the target ISA over the Table 3 memory hierarchy.
+ *
+ * Execution modes differ only in how they handle the amnesic opcodes
+ * (RCMP / REC / RTN), which the engine routes through an ExecutionHooks
+ * extension point: classic execution installs no hooks (amnesic opcodes
+ * are then a fatal error), the amnesic machine (src/core) installs
+ * hooks implementing the §3.3 scheduler. Register, memory, timing and
+ * stats plumbing exists exactly once, here.
+ */
+
+#ifndef AMNESIAC_SIM_EXECUTION_ENGINE_H
+#define AMNESIAC_SIM_EXECUTION_ENGINE_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "energy/epi.h"
+#include "isa/program.h"
+#include "mem/hierarchy.h"
+#include "sim/stats.h"
+
+namespace amnesiac {
+
+class ExecutionEngine;
+
+/**
+ * Passive instrumentation hook (the role Pin plays in the paper's
+ * toolchain, §4). Callbacks may inspect the engine but never mutate
+ * architectural state.
+ */
+class ExecutionObserver
+{
+  public:
+    virtual ~ExecutionObserver() = default;
+
+    /** Called before an instruction executes (registers still hold the
+     * instruction's input values). */
+    virtual void onExec(const ExecutionEngine &e, std::uint32_t pc,
+                        const Instruction &instr)
+    {
+        (void)e; (void)pc; (void)instr;
+    }
+
+    /** Called after a load is serviced. */
+    virtual void onLoad(const ExecutionEngine &e, std::uint32_t pc,
+                        std::uint64_t addr, std::uint64_t value,
+                        MemLevel serviced)
+    {
+        (void)e; (void)pc; (void)addr; (void)value; (void)serviced;
+    }
+
+    /** Called after a store retires. */
+    virtual void onStore(const ExecutionEngine &e, std::uint32_t pc,
+                         std::uint64_t addr, std::uint64_t value,
+                         MemLevel serviced)
+    {
+        (void)e; (void)pc; (void)addr; (void)value; (void)serviced;
+    }
+};
+
+/**
+ * Active extension point: the engine delegates every amnesic opcode
+ * (Rcmp/Rec/Rtn) here. Implementations own the instruction's complete
+ * semantics — they must advance the pc themselves and do their own
+ * accounting through the engine's charge helpers.
+ */
+class ExecutionHooks
+{
+  public:
+    virtual ~ExecutionHooks() = default;
+
+    virtual void execAmnesic(ExecutionEngine &engine,
+                             const Instruction &instr) = 0;
+};
+
+/**
+ * The shared interpreter. Timing model: one instruction in flight,
+ * per-category latencies, blocking loads. Without hooks, encountering
+ * any amnesic opcode is a fatal error (classic execution is the null
+ * hook).
+ *
+ * The engine's mutation helpers (writeReg, charge*, setPc, ...) are
+ * public: they are the API the hooks layer builds amnesic semantics
+ * from. An engine instance is confined to one thread; distinct engines
+ * share nothing and may run concurrently (see util/thread_pool.h).
+ */
+class ExecutionEngine
+{
+  public:
+    /**
+     * @param program the binary to execute (copied: the engine owns its
+     *        program, so callers may pass temporaries)
+     * @param energy cost model
+     * @param hierarchy_config data-cache geometry
+     * @param hooks amnesic-opcode handler; nullptr = classic execution
+     */
+    ExecutionEngine(const Program &program, const EnergyModel &energy,
+                    const HierarchyConfig &hierarchy_config = {},
+                    ExecutionHooks *hooks = nullptr);
+
+    /**
+     * Run until HALT.
+     * @param max_instrs fatal runaway guard
+     */
+    void run(std::uint64_t max_instrs = 1ull << 32);
+
+    /** Execute a single instruction; false once halted. */
+    bool step();
+
+    bool halted() const { return _halted; }
+    std::uint32_t pc() const { return _pc; }
+
+    const SimStats &stats() const { return _stats; }
+    const MemoryHierarchy &hierarchy() const { return _hierarchy; }
+    const EnergyModel &energyModel() const { return _energy; }
+    const Program &program() const { return _program; }
+
+    /** Architectural register value. */
+    std::uint64_t reg(Reg r) const { return readReg(r); }
+
+    /** Functional memory word at a byte address (no cache effects). */
+    std::uint64_t peekWord(std::uint64_t addr) const { return memRead(addr); }
+
+    /** Attach at most one observer (nullptr detaches). */
+    void setObserver(ExecutionObserver *observer) { _observer = observer; }
+
+    /**
+     * Pure ALU evaluation of a sliceable opcode. Shared by execution,
+     * the dependence tracker's mirroring, and dry-run slice evaluation.
+     */
+    static std::uint64_t evalAlu(Opcode op, std::uint64_t a,
+                                 std::uint64_t b, std::int64_t imm);
+
+    // --- state-mutation API for the hooks layer ---
+    void writeReg(Reg r, std::uint64_t value);
+    std::uint64_t readReg(Reg r) const;
+    /** Effective address of a memory instruction; validates alignment. */
+    std::uint64_t effectiveAddr(const Instruction &instr) const;
+    /** Functional read/write against flat memory. */
+    std::uint64_t memRead(std::uint64_t addr) const;
+    void memWrite(std::uint64_t addr, std::uint64_t value);
+    /** Perform a full load (hierarchy + energy + stats + observer). */
+    std::uint64_t performLoad(std::uint32_t pc, const Instruction &instr);
+
+    /** Charge a non-memory instruction's energy/latency. */
+    void chargeNonMem(InstrCategory cat);
+    /** Charge writeback traffic of one hierarchy access. */
+    void chargeWritebacks(const HierarchyAccess &access);
+    /** Charge an explicit amount into a breakdown bucket. */
+    void chargeEnergy(double nj, double EnergyBreakdown::*bucket);
+    void chargeCycles(std::uint64_t cycles) { _stats.cycles += cycles; }
+
+    MemoryHierarchy &mutableHierarchy() { return _hierarchy; }
+    ExecutionObserver *observer() { return _observer; }
+    SimStats &mutableStats() { return _stats; }
+    void setPc(std::uint32_t pc) { _pc = pc; }
+    void haltNow() { _halted = true; }
+
+  private:
+    void execOne(const Instruction &instr);
+
+    Program _program;
+    EnergyModel _energy;
+    MemoryHierarchy _hierarchy;
+    std::array<std::uint64_t, kNumRegs> _regs{};
+    std::vector<std::uint64_t> _memory;
+    std::uint32_t _pc = 0;
+    bool _halted = false;
+    SimStats _stats;
+    ExecutionObserver *_observer = nullptr;
+    ExecutionHooks *_hooks = nullptr;
+};
+
+}  // namespace amnesiac
+
+#endif  // AMNESIAC_SIM_EXECUTION_ENGINE_H

@@ -1,67 +1,27 @@
 /**
  * @file
- * Classic-execution machine: an in-order scalar functional + timing +
- * energy interpreter for the target ISA over the Table 3 memory
- * hierarchy. The amnesic machine (src/core) extends it with RCMP / REC /
- * RTN handling.
+ * Classic-execution machine: a thin facade over the shared
+ * ExecutionEngine with no hooks installed, so any amnesic opcode is a
+ * fatal error here. The amnesic machine (src/core) wraps the same
+ * engine with hooks implementing RCMP / REC / RTN.
  */
 
 #ifndef AMNESIAC_SIM_MACHINE_H
 #define AMNESIAC_SIM_MACHINE_H
 
-#include <array>
-#include <cstdint>
-#include <vector>
-
-#include "energy/epi.h"
-#include "isa/program.h"
-#include "mem/hierarchy.h"
-#include "sim/stats.h"
+#include "sim/execution_engine.h"
 
 namespace amnesiac {
 
-class Machine;
+/** Observers attach to the engine; the historical name is kept for the
+ * profiling/validation passes built on it. */
+using MachineObserver = ExecutionObserver;
 
 /**
- * Passive instrumentation hook (the role Pin plays in the paper's
- * toolchain, §4). Callbacks may inspect the machine but never mutate
- * architectural state.
- */
-class MachineObserver
-{
-  public:
-    virtual ~MachineObserver() = default;
-
-    /** Called before an instruction executes (registers still hold the
-     * instruction's input values). */
-    virtual void onExec(const Machine &m, std::uint32_t pc,
-                        const Instruction &instr)
-    {
-        (void)m; (void)pc; (void)instr;
-    }
-
-    /** Called after a load is serviced. */
-    virtual void onLoad(const Machine &m, std::uint32_t pc,
-                        std::uint64_t addr, std::uint64_t value,
-                        MemLevel serviced)
-    {
-        (void)m; (void)pc; (void)addr; (void)value; (void)serviced;
-    }
-
-    /** Called after a store retires. */
-    virtual void onStore(const Machine &m, std::uint32_t pc,
-                         std::uint64_t addr, std::uint64_t value,
-                         MemLevel serviced)
-    {
-        (void)m; (void)pc; (void)addr; (void)value; (void)serviced;
-    }
-};
-
-/**
- * Classic machine. Executes the main code region; encountering any
- * amnesic opcode is a fatal error here (AmnesicMachine overrides the
- * hooks). Timing model: one instruction in flight, per-category
- * latencies, blocking loads.
+ * Classic machine. Executes the main code region on the shared engine;
+ * encountering any amnesic opcode is a fatal error (AmnesicMachine
+ * installs the hooks). Timing model: one instruction in flight,
+ * per-category latencies, blocking loads.
  */
 class Machine
 {
@@ -73,87 +33,70 @@ class Machine
      * @param hierarchy_config data-cache geometry
      */
     Machine(const Program &program, const EnergyModel &energy,
-            const HierarchyConfig &hierarchy_config = {});
+            const HierarchyConfig &hierarchy_config = {})
+        : _engine(program, energy, hierarchy_config, nullptr)
+    {
+    }
     virtual ~Machine() = default;
 
     /**
      * Run until HALT.
      * @param max_instrs fatal runaway guard
      */
-    void run(std::uint64_t max_instrs = 1ull << 32);
+    void run(std::uint64_t max_instrs = 1ull << 32)
+    {
+        _engine.run(max_instrs);
+    }
 
     /** Execute a single instruction; false once halted. */
-    bool step();
+    bool step() { return _engine.step(); }
 
-    bool halted() const { return _halted; }
-    std::uint32_t pc() const { return _pc; }
+    bool halted() const { return _engine.halted(); }
+    std::uint32_t pc() const { return _engine.pc(); }
 
-    const SimStats &stats() const { return _stats; }
-    const MemoryHierarchy &hierarchy() const { return _hierarchy; }
-    const EnergyModel &energyModel() const { return _energy; }
-    const Program &program() const { return _program; }
+    const SimStats &stats() const { return _engine.stats(); }
+    const MemoryHierarchy &hierarchy() const { return _engine.hierarchy(); }
+    const EnergyModel &energyModel() const { return _engine.energyModel(); }
+    const Program &program() const { return _engine.program(); }
 
     /** Architectural register value. */
-    std::uint64_t reg(Reg r) const;
+    std::uint64_t reg(Reg r) const { return _engine.reg(r); }
 
     /** Functional memory word at a byte address (no cache effects). */
-    std::uint64_t peekWord(std::uint64_t addr) const;
+    std::uint64_t peekWord(std::uint64_t addr) const
+    {
+        return _engine.peekWord(addr);
+    }
 
     /** Attach at most one observer (nullptr detaches). */
-    void setObserver(MachineObserver *observer) { _observer = observer; }
+    void setObserver(MachineObserver *observer)
+    {
+        _engine.setObserver(observer);
+    }
 
     /**
      * Pure ALU evaluation of a sliceable opcode. Shared by execution,
      * the dependence tracker's mirroring, and dry-run slice evaluation.
      */
-    static std::uint64_t evalAlu(Opcode op, std::uint64_t a,
-                                 std::uint64_t b, std::int64_t imm);
+    static std::uint64_t
+    evalAlu(Opcode op, std::uint64_t a, std::uint64_t b, std::int64_t imm)
+    {
+        return ExecutionEngine::evalAlu(op, a, b, imm);
+    }
 
   protected:
-    /**
-     * Hook for amnesic opcodes (Rcmp/Rec/Rtn); the classic machine
-     * rejects them. Implementations must advance _pc and do their own
-     * accounting through the charge helpers.
-     */
-    virtual void execAmnesic(const Instruction &instr);
+    /** Extension-point constructor: subclasses install their hooks. */
+    Machine(const Program &program, const EnergyModel &energy,
+            const HierarchyConfig &hierarchy_config, ExecutionHooks *hooks)
+        : _engine(program, energy, hierarchy_config, hooks)
+    {
+    }
 
-    // --- helpers shared with AmnesicMachine ---
-    void writeReg(Reg r, std::uint64_t value);
-    std::uint64_t readReg(Reg r) const;
-    /** Effective address of a memory instruction; validates alignment. */
-    std::uint64_t effectiveAddr(const Instruction &instr) const;
-    /** Functional read/write against flat memory. */
-    std::uint64_t memRead(std::uint64_t addr) const;
-    void memWrite(std::uint64_t addr, std::uint64_t value);
-    /** Perform a full load (hierarchy + energy + stats + observer). */
-    std::uint64_t performLoad(std::uint32_t pc, const Instruction &instr);
-
-    /** Charge a non-memory instruction's energy/latency. */
-    void chargeNonMem(InstrCategory cat);
-    /** Charge writeback traffic of one hierarchy access. */
-    void chargeWritebacks(const HierarchyAccess &access);
-    /** Charge an explicit amount into a breakdown bucket. */
-    void chargeEnergy(double nj, double EnergyBreakdown::*bucket);
-    void chargeCycles(std::uint64_t cycles) { _stats.cycles += cycles; }
-
-    MemoryHierarchy &mutableHierarchy() { return _hierarchy; }
-    MachineObserver *observer() { return _observer; }
-    SimStats &mutableStats() { return _stats; }
-    void setPc(std::uint32_t pc) { _pc = pc; }
-    void haltNow() { _halted = true; }
+    ExecutionEngine &engine() { return _engine; }
+    const ExecutionEngine &engine() const { return _engine; }
 
   private:
-    void execOne(const Instruction &instr);
-
-    Program _program;
-    EnergyModel _energy;
-    MemoryHierarchy _hierarchy;
-    std::array<std::uint64_t, kNumRegs> _regs{};
-    std::vector<std::uint64_t> _memory;
-    std::uint32_t _pc = 0;
-    bool _halted = false;
-    SimStats _stats;
-    MachineObserver *_observer = nullptr;
+    ExecutionEngine _engine;
 };
 
 }  // namespace amnesiac

@@ -1,0 +1,87 @@
+#include "util/thread_pool.h"
+
+namespace amnesiac {
+
+unsigned
+ThreadPool::defaultThreadCount()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultThreadCount();
+    _workers.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _stop = true;
+    }
+    _wakeWorker.notify_all();
+    for (std::thread &worker : _workers)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _queue.push_back(std::move(task));
+        ++_pending;
+    }
+    _wakeWorker.notify_one();
+}
+
+void
+ThreadPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    _idle.wait(lock, [this] { return _pending == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _wakeWorker.wait(lock,
+                             [this] { return _stop || !_queue.empty(); });
+            if (_queue.empty())
+                return;  // _stop and fully drained
+            task = std::move(_queue.front());
+            _queue.pop_front();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(_mutex);
+            if (--_pending == 0)
+                _idle.notify_all();
+        }
+    }
+}
+
+void
+parallelFor(ThreadPool *pool, std::size_t n,
+            const std::function<void(std::size_t)> &body)
+{
+    if (!pool || pool->threadCount() <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        pool->submit([&body, i] { body(i); });
+    pool->waitIdle();
+}
+
+}  // namespace amnesiac

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * A small fixed-size thread pool (std::thread + mutex/condvar work
+ * queue, no external dependencies) for the experiment pipeline: the §5
+ * evaluation matrix is a bag of independent, deterministic
+ * (workload × policy) simulations, so they fan out across cores.
+ *
+ * Determinism contract: the pool only schedules; tasks must write to
+ * disjoint, pre-allocated result slots. Runs with any thread count then
+ * produce bit-identical results (see report/experiment.cc).
+ */
+
+#ifndef AMNESIAC_UTIL_THREAD_POOL_H
+#define AMNESIAC_UTIL_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace amnesiac {
+
+/**
+ * Fixed-size worker pool. Tasks are plain callables; they must not
+ * throw (simulation errors go through AMNESIAC_FATAL/PANIC, which
+ * terminate the process). Submitting from inside a task is allowed;
+ * waitIdle() accounts for tasks spawned by tasks.
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; 0 = std::thread::hardware_concurrency
+     *        (at least 1) */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains outstanding work, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one task. */
+    void submit(std::function<void()> task);
+
+    /** Block until the queue is empty and every worker is idle. */
+    void waitIdle();
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(_workers.size());
+    }
+
+    /** The worker count a `0` request resolves to on this host. */
+    static unsigned defaultThreadCount();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> _workers;
+    std::deque<std::function<void()>> _queue;
+    std::mutex _mutex;
+    std::condition_variable _wakeWorker;  ///< queue became non-empty / stop
+    std::condition_variable _idle;        ///< pending count hit zero
+    /** Queued + currently-running tasks. */
+    std::size_t _pending = 0;
+    bool _stop = false;
+};
+
+/**
+ * Run body(i) for every i in [0, n), fanning out on `pool`. Falls back
+ * to a plain serial loop when `pool` is null or has a single worker —
+ * that path is byte-for-byte the pre-pool behavior. Blocks until every
+ * iteration finished. Must not be called from inside a pool task (the
+ * inner waitIdle would deadlock on the occupied worker).
+ */
+void parallelFor(ThreadPool *pool, std::size_t n,
+                 const std::function<void(std::size_t)> &body);
+
+}  // namespace amnesiac
+
+#endif  // AMNESIAC_UTIL_THREAD_POOL_H

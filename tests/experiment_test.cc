@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Experiment-pipeline tests pinned to the engine unification and
+ * parallelization:
+ *
+ *  (a) classic stats produced by the unified ExecutionEngine match a
+ *      golden snapshot captured from the pre-refactor (duplicated-loop)
+ *      build for two mimic workloads — the refactor must be
+ *      bit-invisible;
+ *  (b) ExperimentRunner::run / runMany produce identical
+ *      BenchmarkResult stats with jobs=1 and jobs=4 — the determinism
+ *      guarantee of the (workload × policy) fan-out.
+ */
+
+#include <gtest/gtest.h>
+
+#include "report/experiment.h"
+#include "workloads/registry.h"
+
+namespace amnesiac {
+namespace {
+
+void
+expectStatsIdentical(const SimStats &a, const SimStats &b)
+{
+    EXPECT_EQ(a.dynInstrs, b.dynInstrs);
+    EXPECT_EQ(a.dynLoads, b.dynLoads);
+    EXPECT_EQ(a.dynStores, b.dynStores);
+    EXPECT_EQ(a.cycles, b.cycles);
+    // Exact (bit-identical) energy: every job runs the same arithmetic
+    // in the same order regardless of which thread hosts it.
+    EXPECT_EQ(a.energy.loadNj, b.energy.loadNj);
+    EXPECT_EQ(a.energy.storeNj, b.energy.storeNj);
+    EXPECT_EQ(a.energy.nonMemNj, b.energy.nonMemNj);
+    EXPECT_EQ(a.energy.histReadNj, b.energy.histReadNj);
+    EXPECT_EQ(a.perCategory, b.perCategory);
+    EXPECT_EQ(a.rcmpSeen, b.rcmpSeen);
+    EXPECT_EQ(a.recomputations, b.recomputations);
+    EXPECT_EQ(a.fallbackLoads, b.fallbackLoads);
+    EXPECT_EQ(a.recomputedInstrs, b.recomputedInstrs);
+    EXPECT_EQ(a.histReads, b.histReads);
+    EXPECT_EQ(a.histWrites, b.histWrites);
+    EXPECT_EQ(a.histOverflows, b.histOverflows);
+    EXPECT_EQ(a.recomputeChecked, b.recomputeChecked);
+    EXPECT_EQ(a.recomputeMismatches, b.recomputeMismatches);
+    EXPECT_EQ(a.sfileAborts, b.sfileAborts);
+    EXPECT_EQ(a.histMissFallbacks, b.histMissFallbacks);
+    EXPECT_EQ(a.swappedByLevel, b.swappedByLevel);
+    EXPECT_EQ(a.fallbackByLevel, b.fallbackByLevel);
+}
+
+void
+expectResultsIdentical(const BenchmarkResult &a, const BenchmarkResult &b)
+{
+    EXPECT_EQ(a.name, b.name);
+    expectStatsIdentical(a.classic, b.classic);
+    EXPECT_EQ(a.compiled.slices.size(), b.compiled.slices.size());
+    EXPECT_EQ(a.oracleCompiled.slices.size(),
+              b.oracleCompiled.slices.size());
+    ASSERT_EQ(a.policies.size(), b.policies.size());
+    for (std::size_t i = 0; i < a.policies.size(); ++i) {
+        EXPECT_EQ(a.policies[i].policy, b.policies[i].policy);
+        expectStatsIdentical(a.policies[i].stats, b.policies[i].stats);
+        EXPECT_EQ(a.policies[i].edpGainPct, b.policies[i].edpGainPct);
+        EXPECT_EQ(a.policies[i].energyGainPct, b.policies[i].energyGainPct);
+        EXPECT_EQ(a.policies[i].perfGainPct, b.policies[i].perfGainPct);
+    }
+}
+
+// Golden classic-execution snapshot, captured from the pre-refactor
+// build (separate Machine/AmnesicMachine interpreter loops) at the
+// default ExperimentConfig, seed 1. The unified engine must reproduce
+// it exactly; doubles are %.17g round-trips, compared bitwise.
+struct GoldenClassic
+{
+    const char *workload;
+    std::uint64_t dynInstrs, dynLoads, dynStores, cycles;
+    double loadNj, storeNj, nonMemNj;
+};
+
+constexpr GoldenClassic kGolden[] = {
+    {"is", 8190306, 508000, 155585, 33009583,
+     9002724.5000510905, 2420098.150001917, 3512340.4503743784},
+    {"stream-recompute", 607700, 20000, 32768, 1762069,
+     161630.51999998756, 320389.11999992508, 273465.00000249944},
+};
+
+TEST(ExperimentTest, UnifiedEngineMatchesPreRefactorGolden)
+{
+    ExperimentRunner runner{ExperimentConfig{}};
+    for (const GoldenClassic &golden : kGolden) {
+        SCOPED_TRACE(golden.workload);
+        SimStats stats =
+            runner.runClassic(makeWorkload(golden.workload, 1).program);
+        EXPECT_EQ(stats.dynInstrs, golden.dynInstrs);
+        EXPECT_EQ(stats.dynLoads, golden.dynLoads);
+        EXPECT_EQ(stats.dynStores, golden.dynStores);
+        EXPECT_EQ(stats.cycles, golden.cycles);
+        EXPECT_EQ(stats.energy.loadNj, golden.loadNj);
+        EXPECT_EQ(stats.energy.storeNj, golden.storeNj);
+        EXPECT_EQ(stats.energy.nonMemNj, golden.nonMemNj);
+        EXPECT_EQ(stats.energy.histReadNj, 0.0);
+    }
+}
+
+TEST(ExperimentTest, ParallelRunMatchesSerialRun)
+{
+    Workload workload = makeWorkload("stream-recompute", 1);
+
+    ExperimentConfig serial_config;
+    serial_config.jobs = 1;
+    ExperimentConfig parallel_config;
+    parallel_config.jobs = 4;
+
+    BenchmarkResult serial =
+        ExperimentRunner(serial_config).run(workload);
+    BenchmarkResult parallel =
+        ExperimentRunner(parallel_config).run(workload);
+    expectResultsIdentical(serial, parallel);
+    // Sanity: the pipeline actually exercised the amnesic path.
+    EXPECT_FALSE(serial.policies.empty());
+    EXPECT_GT(serial.classic.dynInstrs, 0u);
+}
+
+TEST(ExperimentTest, ParallelRunManyMatchesSerial)
+{
+    std::vector<Workload> workloads = {
+        makeWorkload("stream-recompute", 1),
+        makeWorkload("hist-stress", 1),
+    };
+    std::vector<Policy> policies = {Policy::Compiler, Policy::FLC,
+                                    Policy::Oracle};
+
+    ExperimentConfig serial_config;
+    serial_config.jobs = 1;
+    ExperimentConfig parallel_config;
+    parallel_config.jobs = 4;
+
+    auto serial =
+        ExperimentRunner(serial_config).runMany(workloads, policies);
+    auto parallel =
+        ExperimentRunner(parallel_config).runMany(workloads, policies);
+
+    ASSERT_EQ(serial.size(), workloads.size());
+    ASSERT_EQ(parallel.size(), workloads.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE(workloads[i].name);
+        // Deterministic input-order merge: slot i is workload i.
+        EXPECT_EQ(serial[i].name, workloads[i].name);
+        expectResultsIdentical(serial[i], parallel[i]);
+    }
+}
+
+TEST(ExperimentTest, RepeatedParallelRunsAreStable)
+{
+    // Rerunning the same parallel configuration must be a fixed point:
+    // no run-to-run scheduling effect may leak into the stats.
+    Workload workload = makeWorkload("stream-recompute", 7);
+    ExperimentConfig config;
+    config.jobs = 4;
+    ExperimentRunner runner(config);
+    BenchmarkResult first = runner.run(workload);
+    BenchmarkResult second = runner.run(workload);
+    expectResultsIdentical(first, second);
+}
+
+}  // namespace
+}  // namespace amnesiac

@@ -142,16 +142,16 @@ TEST(Machine, ObserverSeesLoadsAndStores)
         int execs = 0, loads = 0, stores = 0;
         std::uint64_t lastValue = 0;
         MemLevel lastLevel = MemLevel::L1;
-        void onExec(const Machine &, std::uint32_t,
+        void onExec(const ExecutionEngine &, std::uint32_t,
                     const Instruction &) override { ++execs; }
-        void onLoad(const Machine &, std::uint32_t, std::uint64_t,
+        void onLoad(const ExecutionEngine &, std::uint32_t, std::uint64_t,
                     std::uint64_t value, MemLevel level) override
         {
             ++loads;
             lastValue = value;
             lastLevel = level;
         }
-        void onStore(const Machine &, std::uint32_t, std::uint64_t,
+        void onStore(const ExecutionEngine &, std::uint32_t, std::uint64_t,
                      std::uint64_t, MemLevel) override { ++stores; }
     };
     ProgramBuilder b("observer");

@@ -1,16 +1,20 @@
 /**
  * @file
  * Unit tests for the util substrate: RNG determinism and distribution,
- * histogram bucketing, table rendering.
+ * histogram bucketing, table rendering, thread-pool scheduling.
  */
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <numeric>
 #include <set>
+#include <vector>
 
 #include "util/histogram.h"
 #include "util/rng.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace amnesiac {
 namespace {
@@ -143,6 +147,56 @@ TEST(Table, CsvRoundTrip)
     Table t({"a", "b"});
     t.row().cell("x").cell(2.25, 2);
     EXPECT_EQ(t.renderCsv(), "a,b\nx,2.25\n");
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&counter] { ++counter; });
+    pool.waitIdle();
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, TasksMaySubmitTasks)
+{
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    for (int i = 0; i < 8; ++i)
+        pool.submit([&pool, &counter] {
+            ++counter;
+            pool.submit([&counter] { ++counter; });
+        });
+    pool.waitIdle();
+    EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(ParallelFor, FillsDisjointSlots)
+{
+    ThreadPool pool(4);
+    std::vector<std::size_t> slots(257, 0);
+    parallelFor(&pool, slots.size(),
+                [&slots](std::size_t i) { slots[i] = i * i; });
+    for (std::size_t i = 0; i < slots.size(); ++i)
+        EXPECT_EQ(slots[i], i * i);
+}
+
+TEST(ParallelFor, SerialFallbackWithoutPool)
+{
+    std::vector<int> order;
+    parallelFor(nullptr, 5, [&order](std::size_t i) {
+        order.push_back(static_cast<int>(i));
+    });
+    std::vector<int> expected(5);
+    std::iota(expected.begin(), expected.end(), 0);
+    EXPECT_EQ(order, expected);  // in-order, single-threaded
+}
+
+TEST(ParallelFor, ZeroIterations)
+{
+    ThreadPool pool(2);
+    parallelFor(&pool, 0, [](std::size_t) { FAIL(); });
 }
 
 }  // namespace

@@ -7,6 +7,8 @@
  *   --list                 list registered workloads and exit
  *   --policy <name>        Compiler|FLC|LLC|C-Oracle|Oracle|Predictor|all
  *                          (default: all)
+ *   --jobs <n>             experiment-pipeline worker threads
+ *                          (0 = hardware_concurrency, 1 = serial)
  *   --seed <n>             workload seed (default 1)
  *   --scale <x>            non-memory EPI scale, the §5.5 R knob
  *   --hist <n>             Hist capacity (default 600)
@@ -49,8 +51,8 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--list] [--policy <p>] [--seed <n>] "
-                 "[--scale <x>] [--hist <n>] [--sfile <n>] "
-                 "[--per-site-model] [--csv] [--disasm] "
+                 "[--jobs <n>] [--scale <x>] [--hist <n>] "
+                 "[--sfile <n>] [--per-site-model] [--csv] [--disasm] "
                  "[--save <path>] <workload>\n",
                  argv0);
     std::exit(2);
@@ -84,6 +86,9 @@ main(int argc, char **argv)
             policy_arg = next();
         } else if (arg == "--seed") {
             seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--jobs") {
+            config.jobs = static_cast<unsigned>(
+                std::strtoul(next(), nullptr, 10));
         } else if (arg == "--scale") {
             config.energy.nonMemScale = std::strtod(next(), nullptr);
         } else if (arg == "--hist") {
