@@ -1,0 +1,47 @@
+#include "analysis/analyzer.h"
+
+namespace amnesiac {
+
+const std::vector<PassInfo> &
+standardPasses()
+{
+    static const std::vector<PassInfo> passes = {
+        {"structure", "AMN001-AMN004",
+         "program shape, register encodings, slice-id uniqueness"},
+        {"purity", "AMN101-AMN102",
+         "slice bodies are side-effect-free and topologically ordered"},
+        {"coverage", "AMN201-AMN203",
+         "REC checkpoints cover every Hist-sourced leaf"},
+        {"capacity", "AMN301-AMN302",
+         "worst-case SFile/Hist occupancy fits the configuration"},
+        {"termination", "AMN401-AMN405",
+         "RTN sealing, region isolation, reachability"},
+        {"integrity", "AMN501-AMN504",
+         "RCMP cross-references, region layout, metadata consistency"},
+        {"cost", "AMN601-AMN602",
+         "recomputation can beat the load it replaces"},
+    };
+    return passes;
+}
+
+AnalysisReport
+analyzeProgram(const Program &program, const AnalyzerOptions &options)
+{
+    AnalysisReport report;
+    runStructurePass(program, report);
+    if (program.code.empty() || program.codeEnd > program.code.size()) {
+        report.sort();
+        return report;
+    }
+    AnalysisContext ctx(program);
+    runPurityPass(ctx, report);
+    runCoveragePass(ctx, report);
+    runCapacityPass(ctx, options, report);
+    runTerminationPass(ctx, report);
+    runIntegrityPass(ctx, report);
+    runCostPass(ctx, options, report);
+    report.sort();
+    return report;
+}
+
+}  // namespace amnesiac

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Top-level entry point of the static analyzer: run every pass over a
+ * program and collect the findings into one sorted AnalysisReport.
+ * The compiler's post-compile gate, the experiment runner's pre-run
+ * gate, the isa/verifier.h compatibility shim, and the amnesiac-lint
+ * CLI all funnel through analyzeProgram().
+ */
+
+#ifndef AMNESIAC_ANALYSIS_ANALYZER_H
+#define AMNESIAC_ANALYSIS_ANALYZER_H
+
+#include "analysis/passes.h"
+
+namespace amnesiac {
+
+/** One registered pass, for documentation and CLI listings. */
+struct PassInfo
+{
+    std::string_view name;
+    std::string_view idRange;
+    std::string_view summary;
+};
+
+/** The standard pass pipeline, in execution order. */
+const std::vector<PassInfo> &standardPasses();
+
+/**
+ * Run the full pass pipeline over `program`. The structure pass runs
+ * first on the raw program; if the shape is too broken to index safely
+ * (no instructions, or codeEnd beyond the program) the report returns
+ * with only the structural findings. Otherwise an AnalysisContext is
+ * built once and shared by the remaining passes. The report comes back
+ * sorted by program position.
+ */
+AnalysisReport analyzeProgram(const Program &program,
+                              const AnalyzerOptions &options = {});
+
+}  // namespace amnesiac
+
+#endif  // AMNESIAC_ANALYSIS_ANALYZER_H

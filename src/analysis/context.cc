@@ -1,0 +1,219 @@
+#include "analysis/context.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace amnesiac {
+
+namespace {
+
+/** Set bit `r` when it names a real architectural register. */
+std::uint32_t
+regBit(Reg r)
+{
+    return r < kNumRegs ? (1u << r) : 0u;
+}
+
+/** True if operand k of a slice instruction reads the given source. */
+bool
+readsSource(const Instruction &i, int k, OperandSource src)
+{
+    if (numSources(i.op) <= k)
+        return false;
+    return (k == 0 ? i.src1 : i.src2) == src;
+}
+
+}  // namespace
+
+AnalysisContext::AnalysisContext(const Program &program)
+    : _program(&program)
+{
+    AMNESIAC_ASSERT(program.codeEnd <= program.code.size(),
+                    "AnalysisContext requires codeEnd <= code.size()");
+    buildBlocks();
+    buildRecIndex();
+    buildReachability();
+    buildLiveness();
+}
+
+void
+AnalysisContext::buildBlocks()
+{
+    const Program &p = *_program;
+    std::uint32_t size = static_cast<std::uint32_t>(p.code.size());
+    for (const RSliceMeta &meta : p.slices) {
+        SliceBlock block;
+        block.meta = meta;
+        block.entry = std::min(meta.entry, size);
+        std::uint32_t want_end = meta.entry + meta.length;
+        block.end = std::min(want_end, size);
+        block.truncated = meta.entry > size || want_end > size;
+
+        // Recompute the §3.4 statistics from the body itself so the
+        // integrity pass can cross-check the metadata claims.
+        std::vector<std::int32_t> last_use(block.end - block.entry, -1);
+        std::vector<std::int32_t> producer(kNumRegs, -1);
+        for (std::uint32_t pc = block.entry; pc < block.end; ++pc) {
+            const Instruction &i = p.code[pc];
+            std::int32_t idx = static_cast<std::int32_t>(pc - block.entry);
+            bool any_slice = false;
+            bool any_hist = false;
+            for (int k = 0; k < 2; ++k) {
+                if (readsSource(i, k, OperandSource::Slice)) {
+                    any_slice = true;
+                    Reg r = k == 0 ? i.rs1 : i.rs2;
+                    if (r < kNumRegs && producer[r] >= 0)
+                        last_use[producer[r]] = idx;
+                }
+                if (readsSource(i, k, OperandSource::Hist)) {
+                    any_hist = true;
+                    ++block.histOperandCount;
+                }
+            }
+            if (!any_slice)
+                ++block.leafCount;
+            if (any_hist) {
+                ++block.histLeafCount;
+                block.histOperandPcs.push_back(pc);
+            }
+            if (hasDest(i.op) && i.rd < kNumRegs)
+                producer[i.rd] = idx;
+        }
+
+        // Dataflow max-live over the body: value i is live from its
+        // production to its last Slice-sourced read.
+        std::uint32_t live = 0;
+        block.maxLive = 0;
+        std::vector<std::uint32_t> dying(block.end - block.entry + 1, 0);
+        for (std::uint32_t idx = 0; idx < last_use.size(); ++idx) {
+            ++live;
+            block.maxLive = std::max(block.maxLive, live);
+            std::uint32_t death =
+                last_use[idx] < 0 ? idx
+                                  : static_cast<std::uint32_t>(last_use[idx]);
+            ++dying[death];
+            live -= dying[idx];  // values whose last use is this index
+        }
+        _blocks.push_back(std::move(block));
+    }
+}
+
+void
+AnalysisContext::buildRecIndex()
+{
+    const Program &p = *_program;
+    for (std::uint32_t pc = 0; pc < p.codeEnd; ++pc) {
+        switch (p.code[pc].op) {
+          case Opcode::Rec:
+            _recPcs.push_back(pc);
+            _recsByLeaf[p.code[pc].leafAddr].push_back(pc);
+            break;
+          case Opcode::Rcmp:
+            _rcmpPcs.push_back(pc);
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+std::vector<std::uint32_t>
+AnalysisContext::mainSuccessors(std::uint32_t pc) const
+{
+    const Instruction &i = _program->code[pc];
+    switch (i.op) {
+      case Opcode::Halt:
+        return {};
+      case Opcode::Jmp:
+        return {i.target};
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+        return {i.target, pc + 1};
+      default:
+        // Everything else, including RCMP (the slice traversal is an
+        // internal detour; control always resumes at pc+1) and REC.
+        return {pc + 1};
+    }
+}
+
+void
+AnalysisContext::buildReachability()
+{
+    const Program &p = *_program;
+    _reachable.assign(p.codeEnd, false);
+    if (p.codeEnd == 0)
+        return;
+    std::vector<std::uint32_t> work{0};
+    _reachable[0] = true;
+    while (!work.empty()) {
+        std::uint32_t pc = work.back();
+        work.pop_back();
+        for (std::uint32_t succ : mainSuccessors(pc)) {
+            if (succ < p.codeEnd && !_reachable[succ]) {
+                _reachable[succ] = true;
+                work.push_back(succ);
+            }
+        }
+    }
+}
+
+bool
+AnalysisContext::mainReachable(std::uint32_t pc) const
+{
+    return pc < _reachable.size() && _reachable[pc];
+}
+
+std::uint32_t
+AnalysisContext::useMask(std::uint32_t pc) const
+{
+    const Instruction &i = _program->code[pc];
+    std::uint32_t mask = 0;
+    int sources = numSources(i.op);
+    if (sources >= 1)
+        mask |= regBit(i.rs1);
+    if (sources >= 2)
+        mask |= regBit(i.rs2);
+    return mask;
+}
+
+std::uint32_t
+AnalysisContext::defMask(std::uint32_t pc) const
+{
+    const Instruction &i = _program->code[pc];
+    return hasDest(i.op) ? regBit(i.rd) : 0u;
+}
+
+void
+AnalysisContext::buildLiveness()
+{
+    const Program &p = *_program;
+    _liveIn.assign(p.codeEnd, 0);
+    // Backward fixpoint; the masks are 32-bit so the whole state is
+    // tiny and the loop converges in O(loop-nesting) sweeps.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::uint32_t idx = p.codeEnd; idx-- > 0;) {
+            std::uint32_t live_out = 0;
+            for (std::uint32_t succ : mainSuccessors(idx))
+                if (succ < p.codeEnd)
+                    live_out |= _liveIn[succ];
+            std::uint32_t live_in =
+                useMask(idx) | (live_out & ~defMask(idx));
+            if (live_in != _liveIn[idx]) {
+                _liveIn[idx] = live_in;
+                changed = true;
+            }
+        }
+    }
+}
+
+std::uint32_t
+AnalysisContext::mainLiveIn(std::uint32_t pc) const
+{
+    return pc < _liveIn.size() ? _liveIn[pc] : 0u;
+}
+
+}  // namespace amnesiac

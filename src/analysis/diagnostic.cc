@@ -1,0 +1,175 @@
+#include "analysis/diagnostic.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace amnesiac {
+
+std::string_view
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note:    return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error:   return "error";
+    }
+    return "?";
+}
+
+Diagnostic &
+Diagnostic::at(std::uint32_t where)
+{
+    pc = where;
+    return *this;
+}
+
+Diagnostic &
+Diagnostic::inSlice(std::uint32_t slice)
+{
+    sliceId = slice;
+    return *this;
+}
+
+Diagnostic &
+Diagnostic::note(std::string text)
+{
+    notes.push_back(std::move(text));
+    return *this;
+}
+
+std::string
+Diagnostic::render() const
+{
+    std::ostringstream os;
+    os << id << " " << severityName(severity);
+    if (pc)
+        os << " @" << *pc;
+    if (sliceId)
+        os << " (slice " << *sliceId << ")";
+    os << ": " << message;
+    return os.str();
+}
+
+Diagnostic &
+AnalysisReport::add(std::string id, Severity severity, std::string message)
+{
+    Diagnostic d;
+    d.id = std::move(id);
+    d.severity = severity;
+    d.message = std::move(message);
+    diagnostics.push_back(std::move(d));
+    return diagnostics.back();
+}
+
+std::size_t
+AnalysisReport::count(Severity severity) const
+{
+    std::size_t n = 0;
+    for (const Diagnostic &d : diagnostics)
+        n += d.severity == severity ? 1 : 0;
+    return n;
+}
+
+bool
+AnalysisReport::gates(bool warnings_as_errors) const
+{
+    return hasErrors() || (warnings_as_errors && warningCount() > 0);
+}
+
+void
+AnalysisReport::sort()
+{
+    std::stable_sort(diagnostics.begin(), diagnostics.end(),
+                     [](const Diagnostic &a, const Diagnostic &b) {
+                         std::uint64_t pa =
+                             a.pc ? *a.pc : ~std::uint64_t{0};
+                         std::uint64_t pb =
+                             b.pc ? *b.pc : ~std::uint64_t{0};
+                         if (pa != pb)
+                             return pa < pb;
+                         if (a.id != b.id)
+                             return a.id < b.id;
+                         return a.message < b.message;
+                     });
+}
+
+std::string
+AnalysisReport::renderText() const
+{
+    std::ostringstream os;
+    for (const Diagnostic &d : diagnostics) {
+        os << d.render() << "\n";
+        for (const std::string &note : d.notes)
+            os << "    note: " << note << "\n";
+    }
+    if (diagnostics.empty())
+        os << "clean\n";
+    else
+        os << errorCount() << " error(s), " << warningCount()
+           << " warning(s), " << count(Severity::Note) << " note(s)\n";
+    return os.str();
+}
+
+namespace {
+
+/** Minimal JSON string escaping (quotes, backslash, control chars). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string
+AnalysisReport::renderJson() const
+{
+    std::ostringstream os;
+    os << "{\"program\":\"" << jsonEscape(programName) << "\","
+       << "\"errors\":" << errorCount() << ","
+       << "\"warnings\":" << warningCount() << ","
+       << "\"notes\":" << count(Severity::Note) << ","
+       << "\"diagnostics\":[";
+    for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+        const Diagnostic &d = diagnostics[i];
+        if (i)
+            os << ",";
+        os << "{\"id\":\"" << jsonEscape(d.id) << "\","
+           << "\"severity\":\"" << severityName(d.severity) << "\",";
+        if (d.pc)
+            os << "\"pc\":" << *d.pc << ",";
+        if (d.sliceId)
+            os << "\"slice\":" << *d.sliceId << ",";
+        os << "\"message\":\"" << jsonEscape(d.message) << "\","
+           << "\"notes\":[";
+        for (std::size_t k = 0; k < d.notes.size(); ++k) {
+            if (k)
+                os << ",";
+            os << "\"" << jsonEscape(d.notes[k]) << "\"";
+        }
+        os << "]}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+}  // namespace amnesiac

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Structured findings of the static analysis layer: a `Diagnostic`
+ * carries a stable id (AMNxxx), a severity, an optional instruction
+ * index and slice id, a message, and attached notes; an
+ * `AnalysisReport` aggregates the findings of one analyzed program and
+ * renders them as text or JSON. These replace the verifier's flat
+ * strings so tools (amnesiac-lint, the compiler gate, CI) can filter
+ * and count findings without parsing prose.
+ */
+
+#ifndef AMNESIAC_ANALYSIS_DIAGNOSTIC_H
+#define AMNESIAC_ANALYSIS_DIAGNOSTIC_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace amnesiac {
+
+/** How bad a finding is. */
+enum class Severity : std::uint8_t {
+    /** Informational observation; never gates anything. */
+    Note,
+    /** The program runs correctly but wastes capacity or energy, or
+     * carries dead artifacts; gates only under --Werror. */
+    Warning,
+    /** The program violates an execution invariant; simulating it
+     * would corrupt state or crash. Always gates. */
+    Error,
+};
+
+/** Printable severity name ("note" / "warning" / "error"). */
+std::string_view severityName(Severity severity);
+
+/** One analysis finding. */
+struct Diagnostic
+{
+    /** Stable identifier, e.g. "AMN101" (see DESIGN.md for the table). */
+    std::string id;
+    Severity severity = Severity::Error;
+    /** Instruction index the finding anchors to, if any. */
+    std::optional<std::uint32_t> pc;
+    /** Recomputation slice the finding belongs to, if any. */
+    std::optional<std::uint32_t> sliceId;
+    /** One-line human-readable statement of the violation. */
+    std::string message;
+    /** Supporting detail lines. */
+    std::vector<std::string> notes;
+
+    // --- chaining helpers for emission sites ---
+    Diagnostic &at(std::uint32_t where);
+    Diagnostic &inSlice(std::uint32_t slice);
+    Diagnostic &note(std::string text);
+
+    /** One-line rendering: "AMN101 error @12 (slice 0): message". */
+    std::string render() const;
+};
+
+/** Every finding the analyzer produced for one program. */
+struct AnalysisReport
+{
+    /** Program::name of the analyzed program. */
+    std::string programName;
+    std::vector<Diagnostic> diagnostics;
+
+    /** Append a finding; returns it for .at()/.note() chaining. */
+    Diagnostic &add(std::string id, Severity severity, std::string message);
+
+    std::size_t count(Severity severity) const;
+    std::size_t errorCount() const { return count(Severity::Error); }
+    std::size_t warningCount() const { return count(Severity::Warning); }
+    bool hasErrors() const { return errorCount() > 0; }
+
+    /** True if the report should fail a gate (errors always; warnings
+     * too when `warnings_as_errors`). */
+    bool gates(bool warnings_as_errors) const;
+
+    /** Sort findings by (pc, id, message) for deterministic output. */
+    void sort();
+
+    /**
+     * Multi-line text rendering: one line per diagnostic plus indented
+     * notes, then a summary line. Empty reports render as "clean".
+     */
+    std::string renderText() const;
+
+    /** Single JSON object (program, counts, diagnostics array). */
+    std::string renderJson() const;
+};
+
+}  // namespace amnesiac
+
+#endif  // AMNESIAC_ANALYSIS_DIAGNOSTIC_H

@@ -1,0 +1,468 @@
+#include "analysis/passes.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace amnesiac {
+
+namespace {
+
+/** Concatenate streamable parts into one message string. */
+template <typename... Args>
+std::string
+cat(Args &&...parts)
+{
+    std::ostringstream os;
+    (os << ... << parts);
+    return os.str();
+}
+
+/** Block owning a slice-region body pc, or nullptr. */
+const SliceBlock *
+blockContaining(const AnalysisContext &ctx, std::uint32_t pc)
+{
+    for (const SliceBlock &block : ctx.blocks())
+        if (pc >= block.entry && pc < block.end)
+            return &block;
+    return nullptr;
+}
+
+/** First block with the given slice id, or nullptr. */
+const SliceBlock *
+blockById(const AnalysisContext &ctx, std::uint32_t id)
+{
+    for (const SliceBlock &block : ctx.blocks())
+        if (block.meta.id == id)
+            return &block;
+    return nullptr;
+}
+
+}  // namespace
+
+void
+runStructurePass(const Program &p, AnalysisReport &report)
+{
+    if (p.code.empty())
+        report.add("AMN001", Severity::Error,
+                   "program contains no instructions");
+    if (p.codeEnd > p.code.size()) {
+        report.add("AMN002", Severity::Error,
+                   cat("codeEnd (", p.codeEnd, ") is beyond the program (",
+                       p.code.size(), " instructions)"));
+        return;  // positional checks below would index out of range
+    }
+
+    for (std::uint32_t pc = 0; pc < p.code.size(); ++pc) {
+        const Instruction &i = p.code[pc];
+        bool slice = p.inSliceRegion(pc);
+        if (hasDest(i.op) && i.rd >= kNumRegs)
+            report.add("AMN003", Severity::Error,
+                       cat("destination register r", int(i.rd),
+                           " out of range"))
+                .at(pc);
+        int sources = numSources(i.op);
+        // Hist-sourced slice operands may carry any register id (the
+        // paper encodes them as an invalid id, §3.5).
+        if (sources >= 1 && i.rs1 >= kNumRegs &&
+            !(slice && i.src1 == OperandSource::Hist))
+            report.add("AMN003", Severity::Error,
+                       cat("source register rs1=r", int(i.rs1),
+                           " out of range"))
+                .at(pc);
+        if (sources >= 2 && i.rs2 >= kNumRegs &&
+            !(slice && i.src2 == OperandSource::Hist))
+            report.add("AMN003", Severity::Error,
+                       cat("source register rs2=r", int(i.rs2),
+                           " out of range"))
+                .at(pc);
+    }
+
+    std::map<std::uint32_t, std::uint32_t> id_count;
+    for (const RSliceMeta &meta : p.slices)
+        ++id_count[meta.id];
+    for (const auto &[id, count] : id_count)
+        if (count > 1)
+            report.add("AMN004", Severity::Error,
+                       cat("slice id ", id, " appears ", count,
+                           " times in the slice metadata"))
+                .inSlice(id)
+                .note("RCMP/REC cross-references resolve by id; "
+                      "duplicates make resolution ambiguous");
+}
+
+void
+runPurityPass(const AnalysisContext &ctx, AnalysisReport &report)
+{
+    const Program &p = ctx.program();
+    for (const SliceBlock &block : ctx.blocks()) {
+        std::set<Reg> defined;
+        for (std::uint32_t pc = block.entry; pc < block.end; ++pc) {
+            const Instruction &i = p.code[pc];
+            if (!isSliceable(i.op)) {
+                Diagnostic &d = report.add(
+                    "AMN101", Severity::Error,
+                    cat("non-sliceable opcode '", mnemonic(i.op),
+                        "' inside slice body"));
+                d.at(pc).inSlice(block.meta.id);
+                if (isStore(i.op) || i.op == Opcode::Rec)
+                    d.note("slice bodies must be side-effect-free: a "
+                           "recomputation may abort mid-slice (§3.4)");
+                else if (isControlFlow(i.op))
+                    d.note("recomputation is a straight-line traversal; "
+                           "control flow cannot appear in a slice");
+                continue;
+            }
+            auto check = [&](Reg r, OperandSource src) {
+                if (src == OperandSource::Slice && !defined.count(r))
+                    report.add("AMN102", Severity::Error,
+                               cat("slice operand r", int(r),
+                                   " read before defined in slice"))
+                        .at(pc)
+                        .inSlice(block.meta.id)
+                        .note("slices are emitted in topological order; "
+                              "the renamer has no binding for this "
+                              "register yet");
+            };
+            int sources = numSources(i.op);
+            if (sources >= 1)
+                check(i.rs1, i.src1);
+            if (sources >= 2)
+                check(i.rs2, i.src2);
+            if (hasDest(i.op))
+                defined.insert(i.rd);
+        }
+    }
+}
+
+void
+runCoveragePass(const AnalysisContext &ctx, AnalysisReport &report)
+{
+    const Program &p = ctx.program();
+
+    // Every Hist-sourced leaf needs a REC in main code aimed at it.
+    for (const SliceBlock &block : ctx.blocks()) {
+        for (std::uint32_t leaf_pc : block.histOperandPcs) {
+            auto it = ctx.recsByLeaf().find(leaf_pc);
+            if (it == ctx.recsByLeaf().end()) {
+                report.add("AMN201", Severity::Error,
+                           "Hist-sourced operand has no covering REC")
+                    .at(leaf_pc)
+                    .inSlice(block.meta.id)
+                    .note(cat("insert a REC with leafAddr=", leaf_pc,
+                              " before the leaf's original producer"));
+                continue;
+            }
+            for (std::uint32_t rec_pc : it->second)
+                if (p.code[rec_pc].sliceId != block.meta.id)
+                    report.add("AMN203", Severity::Error,
+                               cat("REC names slice ",
+                                   p.code[rec_pc].sliceId,
+                                   " but checkpoints a leaf of slice ",
+                                   block.meta.id))
+                        .at(rec_pc)
+                        .note("a failed REC poisons the slice it names; "
+                              "a wrong id poisons the wrong slice");
+        }
+    }
+
+    // Every REC must aim at a Hist-operand-bearing slice instruction.
+    for (std::uint32_t rec_pc : ctx.recPcs()) {
+        const Instruction &rec = p.code[rec_pc];
+        const SliceBlock *owner = blockContaining(ctx, rec.leafAddr);
+        if (!p.inSliceRegion(rec.leafAddr) || owner == nullptr) {
+            report.add("AMN203", Severity::Error,
+                       cat("REC leaf address ", rec.leafAddr,
+                           " is not inside any slice body"))
+                .at(rec_pc);
+            continue;
+        }
+        if (blockById(ctx, rec.sliceId) == nullptr)
+            report.add("AMN203", Severity::Error,
+                       cat("REC names unknown slice ", rec.sliceId))
+                .at(rec_pc);
+        bool leaf_reads_hist =
+            std::find(owner->histOperandPcs.begin(),
+                      owner->histOperandPcs.end(),
+                      rec.leafAddr) != owner->histOperandPcs.end();
+        if (!leaf_reads_hist)
+            report.add("AMN202", Severity::Warning,
+                       "dead REC: the checkpointed leaf has no "
+                       "Hist-sourced operand")
+                .at(rec_pc)
+                .inSlice(owner->meta.id)
+                .note("the checkpoint burns a store-class EPI and a "
+                      "Hist entry that nothing ever reads");
+    }
+}
+
+void
+runCapacityPass(const AnalysisContext &ctx, const AnalyzerOptions &options,
+                AnalysisReport &report)
+{
+    std::uint32_t total_hist_entries = 0;
+    for (const SliceBlock &block : ctx.blocks()) {
+        total_hist_entries +=
+            static_cast<std::uint32_t>(block.histOperandPcs.size());
+        // The SFile allocates one entry per executed body instruction
+        // and only frees at slice exit, so the worst case is the body
+        // length — not the dataflow max-live.
+        std::uint32_t needed = block.end - block.entry;
+        if (needed > options.sfileCapacity) {
+            Diagnostic &d = report.add(
+                "AMN301", Severity::Warning,
+                cat("slice needs ", needed, " SFile entries but the "
+                    "configured capacity is ", options.sfileCapacity,
+                    "; every traversal will abort"));
+            d.at(block.entry).inSlice(block.meta.id);
+            if (block.maxLive <= options.sfileCapacity)
+                d.note(cat("dataflow max-live is only ", block.maxLive,
+                           "; a liveness-driven SFile allocator would "
+                           "fit this slice"));
+        }
+    }
+    // Hist entries are keyed by leaf address and never evicted, so the
+    // whole program's leaves must fit together.
+    if (total_hist_entries > options.histCapacity)
+        report.add("AMN302", Severity::Warning,
+                   cat("program needs ", total_hist_entries,
+                       " Hist entries but the configured capacity is ",
+                       options.histCapacity))
+            .note("overflowing RECs fail and poison their slices "
+                  "(§3.5): the affected RCMPs silently degrade to "
+                  "plain loads");
+}
+
+void
+runTerminationPass(const AnalysisContext &ctx, AnalysisReport &report)
+{
+    const Program &p = ctx.program();
+    std::uint32_t size = static_cast<std::uint32_t>(p.code.size());
+
+    for (const SliceBlock &block : ctx.blocks()) {
+        if (block.truncated)
+            continue;  // AMN503 reports the layout breakage
+        if (block.end >= size || p.code[block.end].op != Opcode::Rtn)
+            report.add("AMN401", Severity::Error,
+                       "slice block does not end in RTN")
+                .at(std::min(block.end, size ? size - 1 : 0u))
+                .inSlice(block.meta.id);
+    }
+
+    for (std::uint32_t pc = 0; pc < p.codeEnd; ++pc) {
+        const Instruction &i = p.code[pc];
+        if (i.op == Opcode::Rtn)
+            report.add("AMN402", Severity::Error,
+                       "RTN outside the slice region")
+                .at(pc);
+        if ((isConditionalBranch(i.op) || i.op == Opcode::Jmp) &&
+            i.target >= p.codeEnd && i.target < size)
+            report.add("AMN402", Severity::Error,
+                       "branch enters the slice region")
+                .at(pc)
+                .note("slices are entered only through RCMP and left "
+                      "only through RTN");
+    }
+    if (p.codeEnd > 0 && p.codeEnd < size) {
+        Opcode last = p.code[p.codeEnd - 1].op;
+        if (last != Opcode::Halt && last != Opcode::Jmp)
+            report.add("AMN402", Severity::Error,
+                       "main code can fall through into the slice region")
+                .at(p.codeEnd - 1);
+    }
+
+    // Unreachable main code, aggregated into contiguous ranges.
+    std::uint32_t run_start = 0;
+    bool in_run = false;
+    auto flush = [&](std::uint32_t end) {
+        if (!in_run)
+            return;
+        in_run = false;
+        report.add("AMN403", Severity::Warning,
+                   end - run_start == 1
+                       ? cat("instruction ", run_start, " is unreachable")
+                       : cat("instructions ", run_start, "..", end - 1,
+                             " are unreachable"))
+            .at(run_start);
+    };
+    for (std::uint32_t pc = 0; pc < p.codeEnd; ++pc) {
+        if (!ctx.mainReachable(pc)) {
+            if (!in_run) {
+                in_run = true;
+                run_start = pc;
+            }
+        } else {
+            flush(pc);
+        }
+    }
+    flush(p.codeEnd);
+
+    if (!p.code.empty()) {
+        bool halts = false;
+        for (std::uint32_t pc = 0; pc < p.codeEnd; ++pc)
+            if (p.code[pc].op == Opcode::Halt && ctx.mainReachable(pc))
+                halts = true;
+        if (!halts)
+            report.add("AMN404", Severity::Error,
+                       p.codeEnd == 0 ? "main code is empty"
+                                      : "no HALT is reachable from entry");
+    }
+
+    // Slices nothing ever diverts into are dead code.
+    std::set<std::uint32_t> referenced;
+    for (std::uint32_t pc : ctx.rcmpPcs())
+        referenced.insert(p.code[pc].sliceId);
+    for (const SliceBlock &block : ctx.blocks())
+        if (!referenced.count(block.meta.id))
+            report.add("AMN405", Severity::Warning,
+                       "slice is never referenced by any RCMP")
+                .at(block.entry)
+                .inSlice(block.meta.id);
+}
+
+void
+runIntegrityPass(const AnalysisContext &ctx, AnalysisReport &report)
+{
+    const Program &p = ctx.program();
+    std::uint32_t size = static_cast<std::uint32_t>(p.code.size());
+
+    for (std::uint32_t pc = 0; pc < p.codeEnd; ++pc) {
+        const Instruction &i = p.code[pc];
+        if ((isConditionalBranch(i.op) || i.op == Opcode::Jmp) &&
+            i.target >= size)
+            report.add("AMN501", Severity::Error,
+                       cat("branch target ", i.target,
+                           " is outside the program"))
+                .at(pc);
+    }
+
+    for (std::uint32_t pc : ctx.rcmpPcs()) {
+        const Instruction &rcmp = p.code[pc];
+        const SliceBlock *block = blockById(ctx, rcmp.sliceId);
+        if (block == nullptr) {
+            report.add("AMN502", Severity::Error,
+                       cat("RCMP names unknown slice ", rcmp.sliceId))
+                .at(pc);
+            continue;
+        }
+        if (!p.inSliceRegion(block->meta.entry))
+            report.add("AMN502", Severity::Error,
+                       "slice entry lies outside the slice region")
+                .at(pc)
+                .inSlice(rcmp.sliceId);
+        if (rcmp.target != block->meta.entry)
+            report.add("AMN502", Severity::Error,
+                       cat("RCMP target ", rcmp.target,
+                           " differs from the slice entry ",
+                           block->meta.entry))
+                .at(pc)
+                .inSlice(rcmp.sliceId);
+        if (block->meta.rcmpPc != pc)
+            report.add("AMN502", Severity::Error,
+                       cat("slice metadata records rcmpPc=",
+                           block->meta.rcmpPc, " but the RCMP is at ", pc))
+                .at(pc)
+                .inSlice(rcmp.sliceId);
+    }
+
+    // The slice region must be exactly the concatenation of the blocks.
+    std::vector<const SliceBlock *> sorted;
+    for (const SliceBlock &block : ctx.blocks())
+        sorted.push_back(&block);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const SliceBlock *a, const SliceBlock *b) {
+                  return a->meta.entry < b->meta.entry;
+              });
+    std::uint32_t expect = p.codeEnd;
+    for (const SliceBlock *block : sorted) {
+        if (block->truncated) {
+            report.add("AMN503", Severity::Error,
+                       "slice block extends beyond the program")
+                .at(std::min(block->meta.entry, size ? size - 1 : 0u))
+                .inSlice(block->meta.id);
+        }
+        if (block->meta.entry != expect)
+            report.add("AMN503", Severity::Error,
+                       cat("slice region gap or overlap: block starts at ",
+                           block->meta.entry, ", expected ", expect))
+                .inSlice(block->meta.id);
+        expect = block->meta.entry + block->meta.length + 1;  // +1 RTN
+    }
+    if (expect != size)
+        report.add("AMN503", Severity::Error,
+                   cat("slice region does not tile the program: blocks "
+                       "end at ", expect, ", program ends at ", size));
+
+    // Metadata statistics must match what the body actually contains.
+    for (const SliceBlock &block : ctx.blocks()) {
+        if (block.truncated)
+            continue;
+        auto mismatch = [&](const char *what, std::uint32_t meta_value,
+                            std::uint32_t actual) {
+            if (meta_value != actual)
+                report.add("AMN504", Severity::Error,
+                           cat("slice metadata ", what, "=", meta_value,
+                               " but the body has ", actual))
+                    .at(block.entry)
+                    .inSlice(block.meta.id);
+        };
+        mismatch("leafCount", block.meta.leafCount, block.leafCount);
+        mismatch("histLeafCount", block.meta.histLeafCount,
+                 block.histLeafCount);
+        mismatch("histOperandCount", block.meta.histOperandCount,
+                 block.histOperandCount);
+    }
+}
+
+void
+runCostPass(const AnalysisContext &ctx, const AnalyzerOptions &options,
+            AnalysisReport &report)
+{
+    const Program &p = ctx.program();
+    EnergyModel energy(options.energy);
+    double eld_max = energy.loadEnergy(MemLevel::Memory);
+
+    for (const SliceBlock &block : ctx.blocks()) {
+        if (block.truncated)
+            continue;
+        // Mirror the machine's runtime charge: each recomputing
+        // instruction at its category EPI, one Hist read per
+        // Hist-operand-bearing instruction, plus the closing RTN.
+        double erc = 0.0;
+        for (std::uint32_t pc = block.entry; pc < block.end; ++pc) {
+            const Instruction &i = p.code[pc];
+            if (!isSliceable(i.op))
+                continue;  // AMN101 already fired; keep the sum defined
+            erc += energy.instrEnergy(categoryOf(i.op));
+        }
+        erc += static_cast<double>(block.histLeafCount) *
+               energy.histAccessEnergy();
+        erc += energy.instrEnergy(InstrCategory::Rtn);
+
+        if (erc >= eld_max)
+            report.add("AMN601", Severity::Warning,
+                       cat("recomputation costs ", erc,
+                           " nJ but even a memory-resident load costs "
+                           "only ", eld_max, " nJ"))
+                .at(block.entry)
+                .inSlice(block.meta.id)
+                .note("no runtime policy can ever fire this slice "
+                      "profitably; it only bloats the binary and "
+                      "Hist/REC traffic");
+        if (block.meta.eldEstimate > 0.0 &&
+            block.meta.ercEstimate >= block.meta.eldEstimate)
+            report.add("AMN602", Severity::Warning,
+                       cat("compiler metadata records Erc=",
+                           block.meta.ercEstimate, " >= Eld=",
+                           block.meta.eldEstimate,
+                           " — an unprofitable selection"))
+                .at(block.entry)
+                .inSlice(block.meta.id)
+                .note("expected only for oracle slice sets, which "
+                      "defer the economics to the runtime policy "
+                      "(§5.1)");
+    }
+}
+
+}  // namespace amnesiac

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The analysis passes. Each pass owns a block of diagnostic ids
+ * (documented in DESIGN.md and the PassInfo table in analyzer.h):
+ *
+ *   structure    AMN001-AMN004  program shape and encodings
+ *   purity       AMN101-AMN102  slice bodies are side-effect-free SSA
+ *   coverage     AMN201-AMN203  REC checkpoints cover every Hist leaf
+ *   capacity     AMN301-AMN302  worst-case Hist/SFile occupancy
+ *   termination  AMN401-AMN405  RTN sealing, region isolation, reachability
+ *   integrity    AMN501-AMN504  RCMP/slice cross-references and layout
+ *   cost         AMN601-AMN602  recomputation can actually pay off
+ *
+ * The structure pass runs on the raw program (it guards the context
+ * build); every other pass consumes the shared AnalysisContext.
+ */
+
+#ifndef AMNESIAC_ANALYSIS_PASSES_H
+#define AMNESIAC_ANALYSIS_PASSES_H
+
+#include "analysis/context.h"
+#include "analysis/diagnostic.h"
+#include "energy/epi.h"
+
+namespace amnesiac {
+
+/** Capacity and energy parameters the capacity/cost passes check
+ * against. Defaults mirror AmnesicConfig's §3.4 sizing (192-entry
+ * SFile, 600-entry Hist) without depending on src/core. */
+struct AnalyzerOptions
+{
+    std::uint32_t sfileCapacity = 192;
+    std::uint32_t histCapacity = 600;
+    /** Energy model for the §3.1.1 break-even sanity check. */
+    EnergyConfig energy;
+};
+
+/** AMN001 empty program, AMN002 codeEnd out of range, AMN003 bad
+ * register encoding, AMN004 duplicate slice id. */
+void runStructurePass(const Program &program, AnalysisReport &report);
+
+/** AMN101 non-sliceable opcode in a slice body (stores, control flow,
+ * REC/RCMP — anything with a side effect), AMN102 Slice-sourced
+ * operand read before its in-slice definition. */
+void runPurityPass(const AnalysisContext &ctx, AnalysisReport &report);
+
+/** AMN201 Hist-sourced leaf with no covering REC, AMN202 dead REC
+ * (checkpoints a leaf with no Hist operand), AMN203 REC cross-
+ * reference broken (leaf address or slice id wrong). */
+void runCoveragePass(const AnalysisContext &ctx, AnalysisReport &report);
+
+/** AMN301 slice worst-case SFile occupancy exceeds capacity (every
+ * traversal would abort), AMN302 total Hist entries exceed capacity
+ * (some REC must eventually fail and poison its slice). */
+void runCapacityPass(const AnalysisContext &ctx,
+                     const AnalyzerOptions &options,
+                     AnalysisReport &report);
+
+/** AMN401 slice block not sealed by RTN, AMN402 control flow crosses
+ * the main/slice boundary, AMN403 unreachable main code, AMN404 no
+ * reachable HALT, AMN405 slice never referenced by an RCMP. */
+void runTerminationPass(const AnalysisContext &ctx,
+                        AnalysisReport &report);
+
+/** AMN501 branch target out of program range, AMN502 RCMP cross-
+ * reference broken, AMN503 slice-region layout broken (gap, overlap,
+ * trailing code, out-of-bounds block), AMN504 slice metadata
+ * statistics contradict the body. */
+void runIntegrityPass(const AnalysisContext &ctx, AnalysisReport &report);
+
+/** AMN601 slice recomputation energy exceeds the worst-case load
+ * (memory-resident) — recomputation can never win; AMN602 compiler
+ * metadata records an unprofitable selection (Erc >= Eld). */
+void runCostPass(const AnalysisContext &ctx,
+                 const AnalyzerOptions &options, AnalysisReport &report);
+
+}  // namespace amnesiac
+
+#endif  // AMNESIAC_ANALYSIS_PASSES_H

@@ -14,6 +14,25 @@ AmnesicMachine::AmnesicMachine(const Program &program,
       _hist(config.histCapacity), _ibuff(config.ibuffCapacity),
       _predictor(config.predictorLogEntries)
 {
+#ifndef NDEBUG
+    // Debug-build spot checks mirroring the analyzer's hard errors (the
+    // AMNxxx ids refer to DESIGN.md's diagnostic table). Release builds
+    // rely on the compiler/experiment gates having run the full
+    // analyzer; these only cover the invariants whose violation would
+    // corrupt machine state instead of failing loudly.
+    for (const RSliceMeta &meta : program.slices) {
+        std::uint64_t end = std::uint64_t{meta.entry} + meta.length;
+        AMNESIAC_ASSERT(end < program.code.size(),
+                        "AMN503: slice block extends beyond the program");
+        AMNESIAC_ASSERT(
+            program.code[static_cast<std::uint32_t>(end)].op == Opcode::Rtn,
+            "AMN401: slice block is not sealed by RTN");
+        for (std::uint32_t pc = meta.entry; pc < end; ++pc)
+            AMNESIAC_ASSERT(isSliceable(program.code[pc].op),
+                            "AMN101: non-sliceable opcode in slice body");
+    }
+#endif
+
     // Precompute per-slice runtime recomputation energy for the oracle
     // decision rule (§5.1: "decisions are based on actual energy costs").
     // The decision model may be pinned to a different non-memory scale
@@ -189,8 +208,8 @@ AmnesicMachine::traverseSlice(const Instruction &rcmp, std::uint64_t addr)
               case OperandSource::Slice: {
                 auto idx = _renamer.lookup(reg);
                 AMNESIAC_ASSERT(idx.has_value(),
-                                "slice operand not renamed — malformed "
-                                "slice region");
+                                "AMN102: slice operand read before "
+                                "defined — malformed slice region");
                 in[k] = _sfile.read(*idx);
                 break;
               }

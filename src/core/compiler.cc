@@ -4,6 +4,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "analysis/analyzer.h"
 #include "core/cost_model.h"
 #include "core/dry_run.h"
 #include "profile/profiler.h"
@@ -123,6 +124,20 @@ AmnesicCompiler::compile(const Program &input) const
     // --- pass 3: rewrite (§3.1.2) ---
     result.program = rewrite(input, candidates, &result.stats);
     result.slices = std::move(candidates);
+
+    // --- pass 4: mandatory analysis gate ---
+    // A compiler that emits a structurally broken binary is a compiler
+    // bug, never a workload property: fail hard instead of letting the
+    // machine corrupt state later.
+    AnalyzerOptions lint;
+    lint.energy = _energy.config();
+    AnalysisReport report = analyzeProgram(result.program, lint);
+    if (report.hasErrors())
+        AMNESIAC_FATAL(std::string("compiler emitted an ill-formed "
+                                   "binary:\n") +
+                       report.renderText());
+    result.stats.analysisWarnings = report.warningCount();
+    result.stats.analysisNotes = report.count(Severity::Note);
     return result;
 }
 

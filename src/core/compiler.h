@@ -67,6 +67,11 @@ struct CompileStats
     /** Dynamic loads covered by the selected sites (profiling run). */
     std::uint64_t coveredDynLoads = 0;
     std::uint64_t totalDynLoads = 0;
+    /** Findings of the mandatory post-compile analysis gate (the gate
+     * aborts on Error-severity findings, so these only count the
+     * surviving severities). */
+    std::uint64_t analysisWarnings = 0;
+    std::uint64_t analysisNotes = 0;
 };
 
 /** Output of the compiler pass. */

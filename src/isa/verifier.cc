@@ -1,230 +1,30 @@
+/**
+ * @file
+ * Compatibility shim over the analysis layer. The original hand-rolled
+ * verifier is superseded by the pass-based analyzer in src/analysis/;
+ * this adapter keeps the historical flat-string interface by running
+ * the full pipeline and rendering the Error-severity findings.
+ * Warnings and notes (capacity sizing, dead RECs, unprofitable slices)
+ * are deliberately dropped here — a well-formed program is one that can
+ * be simulated without corrupting state, nothing stricter. Use
+ * analyzeProgram() or amnesiac-lint for the full report.
+ */
+
 #include "isa/verifier.h"
 
-#include <algorithm>
-#include <set>
-#include <sstream>
+#include "analysis/analyzer.h"
 
 namespace amnesiac {
-
-namespace {
-
-/** Collector that formats one finding per call. */
-class Findings
-{
-  public:
-    template <typename... Args>
-    void
-    add(std::uint32_t pc, Args &&...parts)
-    {
-        std::ostringstream os;
-        os << "@" << pc << ": ";
-        (os << ... << parts);
-        _out.push_back(os.str());
-    }
-
-    std::vector<std::string> take() { return std::move(_out); }
-
-  private:
-    std::vector<std::string> _out;
-};
-
-bool
-regOk(Reg r)
-{
-    return r < kNumRegs;
-}
-
-void
-checkRegisters(const Program &p, std::uint32_t pc, Findings &f)
-{
-    const Instruction &i = p.code[pc];
-    if (hasDest(i.op) && !regOk(i.rd))
-        f.add(pc, "bad destination register");
-    int sources = numSources(i.op);
-    // Hist-sourced slice operands may carry any register id (the paper
-    // encodes them as an invalid id, §3.5); everything else must be valid.
-    bool slice = p.inSliceRegion(pc);
-    if (sources >= 1 && !(slice && i.src1 == OperandSource::Hist) &&
-        !regOk(i.rs1))
-        f.add(pc, "bad rs1");
-    if (sources >= 2 && !(slice && i.src2 == OperandSource::Hist) &&
-        !regOk(i.rs2))
-        f.add(pc, "bad rs2");
-}
-
-void
-checkMainCode(const Program &p, Findings &f)
-{
-    bool saw_halt = false;
-    for (std::uint32_t pc = 0; pc < p.codeEnd; ++pc) {
-        const Instruction &i = p.code[pc];
-        checkRegisters(p, pc, f);
-        switch (i.op) {
-          case Opcode::Halt:
-            saw_halt = true;
-            break;
-          case Opcode::Beq:
-          case Opcode::Bne:
-          case Opcode::Blt:
-          case Opcode::Jmp:
-            if (i.target >= p.codeEnd)
-                f.add(pc, "branch target escapes main code");
-            break;
-          case Opcode::Rtn:
-            f.add(pc, "RTN outside slice region");
-            break;
-          case Opcode::Rcmp: {
-            auto meta = p.sliceById(i.sliceId);
-            if (!meta) {
-                f.add(pc, "RCMP names unknown slice ", i.sliceId);
-            } else {
-                if (i.target != meta->entry)
-                    f.add(pc, "RCMP target differs from slice entry");
-                if (!p.inSliceRegion(meta->entry))
-                    f.add(pc, "slice entry outside slice region");
-                if (meta->rcmpPc != pc)
-                    f.add(pc, "slice metadata rcmpPc mismatch");
-            }
-            break;
-          }
-          case Opcode::Rec: {
-            if (!p.inSliceRegion(i.leafAddr)) {
-                f.add(pc, "REC leaf-address outside slice region");
-                break;
-            }
-            const Instruction &leaf = p.code[i.leafAddr];
-            bool hist_operand =
-                (numSources(leaf.op) >= 1 &&
-                 leaf.src1 == OperandSource::Hist) ||
-                (numSources(leaf.op) >= 2 &&
-                 leaf.src2 == OperandSource::Hist);
-            if (!hist_operand)
-                f.add(pc, "REC feeds a leaf with no Hist-sourced operand");
-            if (!p.sliceById(i.sliceId))
-                f.add(pc, "REC names unknown slice ", i.sliceId);
-            break;
-          }
-          default:
-            break;
-        }
-    }
-    if (p.codeEnd > 0 && !saw_halt)
-        f.add(0, "main code contains no HALT");
-    if (p.codeEnd < p.code.size() && p.codeEnd > 0) {
-        Opcode last = p.code[p.codeEnd - 1].op;
-        if (last != Opcode::Halt && last != Opcode::Jmp)
-            f.add(p.codeEnd - 1,
-                  "main code can fall through into the slice region");
-    }
-}
-
-void
-checkSliceBlock(const Program &p, const RSliceMeta &meta, Findings &f)
-{
-    std::uint32_t end = meta.entry + meta.length;  // index of RTN
-    if (end >= p.code.size()) {
-        f.add(meta.entry, "slice block exceeds program");
-        return;
-    }
-    if (p.code[end].op != Opcode::Rtn)
-        f.add(end, "slice block does not end in RTN");
-
-    // Registers defined so far inside this slice; Slice-sourced operands
-    // must reference one of them (topological emission order, §2.1).
-    std::set<Reg> defined;
-    std::uint32_t hist_leaves = 0;
-    std::uint32_t leaves = 0;
-    for (std::uint32_t pc = meta.entry; pc < end; ++pc) {
-        const Instruction &i = p.code[pc];
-        if (!isSliceable(i.op)) {
-            f.add(pc, "non-sliceable opcode inside slice (", mnemonic(i.op),
-                  ")");
-            continue;
-        }
-        checkRegisters(p, pc, f);
-        bool any_slice_src = false;
-        bool any_hist_src = false;
-        auto check_src = [&](Reg r, OperandSource src) {
-            switch (src) {
-              case OperandSource::Slice:
-                any_slice_src = true;
-                if (!defined.count(r))
-                    f.add(pc, "slice operand r", int(r),
-                          " read before defined in slice");
-                break;
-              case OperandSource::Hist: {
-                any_hist_src = true;
-                // A REC in main code must checkpoint this leaf.
-                bool found = false;
-                for (std::uint32_t mpc = 0; mpc < p.codeEnd; ++mpc) {
-                    const Instruction &m = p.code[mpc];
-                    if (m.op == Opcode::Rec && m.leafAddr == pc) {
-                        found = true;
-                        break;
-                    }
-                }
-                if (!found)
-                    f.add(pc, "Hist-sourced operand has no matching REC");
-                break;
-              }
-              case OperandSource::Live:
-                break;
-            }
-        };
-        int sources = numSources(i.op);
-        if (sources >= 1)
-            check_src(i.rs1, i.src1);
-        if (sources >= 2)
-            check_src(i.rs2, i.src2);
-        if (!any_slice_src)
-            ++leaves;
-        if (any_hist_src)
-            ++hist_leaves;
-        if (hasDest(i.op))
-            defined.insert(i.rd);
-    }
-    if (leaves != meta.leafCount)
-        f.add(meta.entry, "leafCount metadata mismatch: meta=",
-              meta.leafCount, " actual=", leaves);
-    if (hist_leaves != meta.histLeafCount)
-        f.add(meta.entry, "histLeafCount metadata mismatch: meta=",
-              meta.histLeafCount, " actual=", hist_leaves);
-}
-
-void
-checkSliceRegion(const Program &p, Findings &f)
-{
-    // The region must be exactly the concatenation of the slice blocks.
-    std::vector<RSliceMeta> sorted = p.slices;
-    std::sort(sorted.begin(), sorted.end(),
-              [](const RSliceMeta &a, const RSliceMeta &b) {
-                  return a.entry < b.entry;
-              });
-    std::uint32_t expect = p.codeEnd;
-    for (const auto &meta : sorted) {
-        if (meta.entry != expect)
-            f.add(meta.entry, "slice region gap or overlap (expected ",
-                  expect, ")");
-        checkSliceBlock(p, meta, f);
-        expect = meta.entry + meta.length + 1;  // +1 for RTN
-    }
-    if (expect != p.code.size())
-        f.add(expect, "slice region has trailing instructions");
-}
-
-}  // namespace
 
 std::vector<std::string>
 verifyProgram(const Program &program)
 {
-    Findings f;
-    if (program.codeEnd > program.code.size()) {
-        f.add(0, "codeEnd beyond program size");
-        return f.take();
-    }
-    checkMainCode(program, f);
-    checkSliceRegion(program, f);
-    return f.take();
+    AnalysisReport report = analyzeProgram(program);
+    std::vector<std::string> findings;
+    for (const Diagnostic &d : report.diagnostics)
+        if (d.severity == Severity::Error)
+            findings.push_back(d.render());
+    return findings;
 }
 
 bool

@@ -3,6 +3,12 @@
  * Structural verification of programs, including the amnesic-compiler
  * output invariants (well-formed slice region, REC/RCMP cross
  * references, topological operand order inside slices).
+ *
+ * Since the analysis layer landed this is a thin adapter over
+ * analysis/analyzer.h: verifyProgram() runs the full pass pipeline and
+ * returns the Error-severity findings rendered as strings. Callers that
+ * want severities, diagnostic ids, warnings, or JSON should use
+ * analyzeProgram() directly.
  */
 
 #ifndef AMNESIAC_ISA_VERIFIER_H

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/analyzer.h"
 #include "sim/machine.h"
 #include "util/logging.h"
 
@@ -104,6 +105,35 @@ ExperimentRunner::prepare(BenchmarkResult &result,
         });
     parallelFor(pool, tasks.size(),
                 [&tasks](std::size_t i) { tasks[i](); });
+
+    // Pre-simulation analysis gate: every binary about to be simulated
+    // must lint clean against the *configured* machine (the compiler's
+    // own gate only sees the default capacities). Errors abort; the
+    // sizing warnings surface once so capacity-sweep ablations still
+    // run while the mismatch stays visible.
+    AnalyzerOptions lint;
+    lint.sfileCapacity = _config.amnesic.sfileCapacity;
+    lint.histCapacity = _config.amnesic.histCapacity;
+    lint.energy = _config.energy;
+    auto gate = [&](const Program &program, const char *which) {
+        AnalysisReport report = analyzeProgram(program, lint);
+        if (report.hasErrors())
+            AMNESIAC_FATAL(std::string(which) + " binary for '" +
+                           workload.name + "' failed analysis:\n" +
+                           report.renderText());
+        // Only the capacity warnings depend on this gate's configured
+        // sizing; the rest are compile-time properties the compiler
+        // gate already counted (and oracle sets record Erc >= Eld by
+        // design, which would spam AMN602 here).
+        for (const Diagnostic &d : report.diagnostics)
+            if (d.severity == Severity::Warning &&
+                d.id.compare(0, 4, "AMN3") == 0)
+                warn(workload.name + ": " + d.render());
+    };
+    if (need_normal)
+        gate(result.compiled.program, "compiled");
+    if (need_oracle)
+        gate(result.oracleCompiled.program, "oracle-compiled");
 }
 
 PolicyOutcome

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Tests for the static analysis layer: every diagnostic id is provably
+ * reachable through a dedicated ill-formed fixture, clean programs lint
+ * clean, the report machinery (severities, gating, rendering) behaves,
+ * and — as a property — the compiler's output for every registered
+ * workload passes the analyzer with zero findings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.h"
+#include "core/compiler.h"
+#include "isa/program_builder.h"
+#include "workloads/registry.h"
+
+namespace amnesiac {
+namespace {
+
+/** Same minimal valid amnesic binary as verifier_test.cc:
+ *    0: li r1, 0
+ *    1: rec {r3,r3} -> hist[5]
+ *    2: li r3, 21          (leaf original)
+ *    3: rcmp r2, [r1+0], slice#0@5
+ *    4: halt
+ *    5: add r2, hist, hist (leaf)     <- slice 0
+ *    6: rtn
+ */
+Program
+miniAmnesic()
+{
+    Program p;
+    p.name = "mini-amnesic";
+    p.dataImage.resize(1, 42);
+
+    Instruction li1;
+    li1.op = Opcode::Li;
+    li1.rd = 1;
+    p.code.push_back(li1);
+
+    Instruction rec;
+    rec.op = Opcode::Rec;
+    rec.rs1 = 3;
+    rec.rs2 = 3;
+    rec.sliceId = 0;
+    rec.leafAddr = 5;
+    p.code.push_back(rec);
+
+    Instruction li3;
+    li3.op = Opcode::Li;
+    li3.rd = 3;
+    li3.imm = 21;
+    p.code.push_back(li3);
+
+    Instruction rcmp;
+    rcmp.op = Opcode::Rcmp;
+    rcmp.rd = 2;
+    rcmp.rs1 = 1;
+    rcmp.sliceId = 0;
+    rcmp.target = 5;
+    p.code.push_back(rcmp);
+
+    Instruction halt;
+    halt.op = Opcode::Halt;
+    p.code.push_back(halt);
+    p.codeEnd = 5;
+
+    Instruction leaf;
+    leaf.op = Opcode::Add;
+    leaf.rd = 2;
+    leaf.rs1 = 3;
+    leaf.rs2 = 3;
+    leaf.sliceId = 0;
+    leaf.src1 = OperandSource::Hist;
+    leaf.src2 = OperandSource::Hist;
+    p.code.push_back(leaf);
+
+    Instruction rtn;
+    rtn.op = Opcode::Rtn;
+    rtn.sliceId = 0;
+    p.code.push_back(rtn);
+
+    RSliceMeta meta;
+    meta.id = 0;
+    meta.entry = 5;
+    meta.length = 1;
+    meta.rcmpPc = 3;
+    meta.leafCount = 1;
+    meta.histLeafCount = 1;
+    meta.histOperandCount = 2;
+    p.slices.push_back(meta);
+    return p;
+}
+
+/** True if the report contains a finding with the id (at any severity,
+ * or at exactly `severity` when given). */
+bool
+hasId(const AnalysisReport &report, const std::string &id,
+      std::optional<Severity> severity = std::nullopt)
+{
+    for (const Diagnostic &d : report.diagnostics)
+        if (d.id == id && (!severity || d.severity == *severity))
+            return true;
+    return false;
+}
+
+TEST(Analysis, CleanProgramProducesNoFindings)
+{
+    AnalysisReport report = analyzeProgram(miniAmnesic());
+    EXPECT_TRUE(report.diagnostics.empty()) << report.renderText();
+}
+
+TEST(Analysis, StandardPassTableCoversTheDocumentedPipeline)
+{
+    ASSERT_GE(standardPasses().size(), 6u);
+    EXPECT_EQ(standardPasses().front().name, "structure");
+    EXPECT_EQ(standardPasses().back().name, "cost");
+}
+
+// --- structure: AMN001-AMN004 ---
+
+TEST(Analysis, Amn001EmptyProgram)
+{
+    Program p;
+    p.name = "empty";
+    AnalysisReport report = analyzeProgram(p);
+    EXPECT_TRUE(hasId(report, "AMN001", Severity::Error));
+    EXPECT_EQ(report.diagnostics.size(), 1u) << report.renderText();
+}
+
+TEST(Analysis, Amn002CodeEndOutOfRange)
+{
+    Program p = miniAmnesic();
+    p.codeEnd = 99;
+    AnalysisReport report = analyzeProgram(p);
+    EXPECT_TRUE(hasId(report, "AMN002", Severity::Error));
+}
+
+TEST(Analysis, Amn003BadRegisterEncoding)
+{
+    Program p = miniAmnesic();
+    p.code[0].rd = kNumRegs;
+    EXPECT_TRUE(hasId(analyzeProgram(p), "AMN003", Severity::Error));
+}
+
+TEST(Analysis, Amn003HistOperandRegisterIsExempt)
+{
+    // Hist-sourced slice operands may carry an invalid register id
+    // (the paper encodes them that way, §3.5).
+    Program p = miniAmnesic();
+    p.code[5].rs1 = kNumRegs;
+    p.code[5].rs2 = kNumRegs;
+    EXPECT_FALSE(hasId(analyzeProgram(p), "AMN003"));
+}
+
+TEST(Analysis, Amn004DuplicateSliceId)
+{
+    Program p = miniAmnesic();
+    p.slices.push_back(p.slices[0]);
+    EXPECT_TRUE(hasId(analyzeProgram(p), "AMN004", Severity::Error));
+}
+
+// --- purity: AMN101-AMN102 ---
+
+TEST(Analysis, Amn101NonSliceableOpcodeInSliceBody)
+{
+    Program p = miniAmnesic();
+    p.code[5].op = Opcode::St;
+    EXPECT_TRUE(hasId(analyzeProgram(p), "AMN101", Severity::Error));
+}
+
+TEST(Analysis, Amn102SliceOperandReadBeforeDefined)
+{
+    Program p = miniAmnesic();
+    p.code[5].src1 = OperandSource::Slice;
+    EXPECT_TRUE(hasId(analyzeProgram(p), "AMN102", Severity::Error));
+}
+
+// --- coverage: AMN201-AMN203 ---
+
+TEST(Analysis, Amn201HistLeafWithoutRec)
+{
+    Program p = miniAmnesic();
+    p.code[1].op = Opcode::Nop;  // drop the REC
+    EXPECT_TRUE(hasId(analyzeProgram(p), "AMN201", Severity::Error));
+}
+
+TEST(Analysis, Amn202DeadRec)
+{
+    Program p = miniAmnesic();
+    // The leaf no longer reads Hist, but the REC still checkpoints it.
+    p.code[5].src1 = OperandSource::Live;
+    p.code[5].src2 = OperandSource::Live;
+    p.slices[0].histLeafCount = 0;
+    p.slices[0].histOperandCount = 0;
+    AnalysisReport report = analyzeProgram(p);
+    EXPECT_TRUE(hasId(report, "AMN202", Severity::Warning));
+    EXPECT_FALSE(report.hasErrors()) << report.renderText();
+}
+
+TEST(Analysis, Amn203RecLeafOutsideAnySliceBody)
+{
+    Program p = miniAmnesic();
+    p.code[1].leafAddr = 6;  // the RTN, not a body instruction
+    EXPECT_TRUE(hasId(analyzeProgram(p), "AMN203", Severity::Error));
+}
+
+// --- capacity: AMN301-AMN302 (warnings: the program still runs) ---
+
+TEST(Analysis, Amn301SliceExceedsSfileCapacity)
+{
+    AnalyzerOptions options;
+    options.sfileCapacity = 0;
+    AnalysisReport report = analyzeProgram(miniAmnesic(), options);
+    EXPECT_TRUE(hasId(report, "AMN301", Severity::Warning));
+    EXPECT_FALSE(report.hasErrors()) << report.renderText();
+}
+
+TEST(Analysis, Amn302ProgramExceedsHistCapacity)
+{
+    AnalyzerOptions options;
+    options.histCapacity = 0;
+    AnalysisReport report = analyzeProgram(miniAmnesic(), options);
+    EXPECT_TRUE(hasId(report, "AMN302", Severity::Warning));
+    EXPECT_FALSE(report.hasErrors()) << report.renderText();
+}
+
+// --- termination: AMN401-AMN405 ---
+
+TEST(Analysis, Amn401SliceBlockNotSealedByRtn)
+{
+    Program p = miniAmnesic();
+    p.code[6].op = Opcode::Nop;
+    EXPECT_TRUE(hasId(analyzeProgram(p), "AMN401", Severity::Error));
+}
+
+TEST(Analysis, Amn402BranchIntoSliceRegion)
+{
+    Program p = miniAmnesic();
+    p.code[0].op = Opcode::Jmp;
+    p.code[0].target = 5;
+    EXPECT_TRUE(hasId(analyzeProgram(p), "AMN402", Severity::Error));
+}
+
+TEST(Analysis, Amn403UnreachableMainCode)
+{
+    Program p = miniAmnesic();
+    p.code[0].op = Opcode::Jmp;
+    p.code[0].target = 2;  // skips the REC at pc 1
+    AnalysisReport report = analyzeProgram(p);
+    EXPECT_TRUE(hasId(report, "AMN403", Severity::Warning));
+    EXPECT_FALSE(report.hasErrors()) << report.renderText();
+}
+
+TEST(Analysis, Amn404NoReachableHalt)
+{
+    ProgramBuilder b("spin");
+    ProgramBuilder::Label top = b.newLabel();
+    b.bind(top);
+    b.li(1, 0);
+    b.jmp(top);
+    Program p = b.finish();
+    EXPECT_TRUE(hasId(analyzeProgram(p), "AMN404", Severity::Error));
+}
+
+TEST(Analysis, Amn405UnreferencedSlice)
+{
+    Program p = miniAmnesic();
+    p.code[3].op = Opcode::Nop;  // drop the RCMP
+    AnalysisReport report = analyzeProgram(p);
+    EXPECT_TRUE(hasId(report, "AMN405", Severity::Warning));
+}
+
+// --- integrity: AMN501-AMN504 ---
+
+TEST(Analysis, Amn501BranchTargetOutOfRange)
+{
+    Program p = miniAmnesic();
+    p.code[0].op = Opcode::Jmp;
+    p.code[0].target = 99;
+    EXPECT_TRUE(hasId(analyzeProgram(p), "AMN501", Severity::Error));
+}
+
+TEST(Analysis, Amn502RcmpCrossReferenceBroken)
+{
+    Program p = miniAmnesic();
+    p.code[3].sliceId = 7;
+    EXPECT_TRUE(hasId(analyzeProgram(p), "AMN502", Severity::Error));
+
+    Program q = miniAmnesic();
+    q.code[3].target = 6;
+    EXPECT_TRUE(hasId(analyzeProgram(q), "AMN502", Severity::Error));
+}
+
+TEST(Analysis, Amn503SliceRegionLayoutBroken)
+{
+    Program p = miniAmnesic();
+    p.slices[0].length = 5;  // extends beyond the program
+    EXPECT_TRUE(hasId(analyzeProgram(p), "AMN503", Severity::Error));
+
+    Program q = miniAmnesic();
+    q.slices[0].entry = 6;  // gap at codeEnd
+    q.slices[0].length = 0;
+    EXPECT_TRUE(hasId(analyzeProgram(q), "AMN503", Severity::Error));
+}
+
+TEST(Analysis, Amn504MetadataMismatch)
+{
+    Program p = miniAmnesic();
+    p.slices[0].leafCount = 3;
+    EXPECT_TRUE(hasId(analyzeProgram(p), "AMN504", Severity::Error));
+}
+
+// --- cost: AMN601-AMN602 (warnings: economics, not correctness) ---
+
+TEST(Analysis, Amn601SliceCanNeverBeatTheLoad)
+{
+    AnalyzerOptions options;
+    options.energy.intAluNj = 1000.0;  // one ALU op dwarfs a memory load
+    AnalysisReport report = analyzeProgram(miniAmnesic(), options);
+    EXPECT_TRUE(hasId(report, "AMN601", Severity::Warning));
+    EXPECT_FALSE(report.hasErrors()) << report.renderText();
+}
+
+TEST(Analysis, Amn602UnprofitableSelectionRecorded)
+{
+    Program p = miniAmnesic();
+    p.slices[0].ercEstimate = 10.0;
+    p.slices[0].eldEstimate = 5.0;
+    AnalysisReport report = analyzeProgram(p);
+    EXPECT_TRUE(hasId(report, "AMN602", Severity::Warning));
+    EXPECT_FALSE(report.hasErrors()) << report.renderText();
+}
+
+// --- report machinery ---
+
+TEST(Analysis, ReportGatingAndRendering)
+{
+    Program p = miniAmnesic();
+    p.slices[0].ercEstimate = 10.0;
+    p.slices[0].eldEstimate = 5.0;  // warning-only program
+    AnalysisReport report = analyzeProgram(p);
+    report.programName = "gating";
+    EXPECT_FALSE(report.gates(false));
+    EXPECT_TRUE(report.gates(true));
+    EXPECT_NE(report.renderText().find("AMN602"), std::string::npos);
+    std::string json = report.renderJson();
+    EXPECT_NE(json.find("\"program\":\"gating\""), std::string::npos);
+    EXPECT_NE(json.find("\"id\":\"AMN602\""), std::string::npos);
+}
+
+TEST(Analysis, FindingsAreSortedByPosition)
+{
+    Program p = miniAmnesic();
+    p.code[6].op = Opcode::Nop;      // AMN401 at pc 6
+    p.code[0].rd = kNumRegs;         // AMN003 at pc 0
+    AnalysisReport report = analyzeProgram(p);
+    ASSERT_GE(report.diagnostics.size(), 2u);
+    EXPECT_EQ(report.diagnostics.front().id, "AMN003");
+}
+
+// --- property: the compiler's output always lints clean ---
+
+TEST(Analysis, RegistryCompilerOutputsLintClean)
+{
+    for (const std::string &name : registeredWorkloads()) {
+        Workload workload = makeWorkload(name);
+        AmnesicCompiler compiler(EnergyModel{});
+        CompileResult compiled = compiler.compile(workload.program);
+        AnalysisReport report = analyzeProgram(compiled.program);
+        EXPECT_FALSE(report.gates(/*warnings_as_errors=*/true))
+            << name << ":\n" << report.renderText();
+    }
+}
+
+}  // namespace
+}  // namespace amnesiac

@@ -193,5 +193,30 @@ TEST(Verifier, RejectsBadRegisterIndex)
     EXPECT_FALSE(isWellFormed(p));
 }
 
+/** Regression: the pre-analysis verifier silently accepted a program
+ * with no instructions at all. */
+TEST(Verifier, RejectsEmptyProgram)
+{
+    Program p;
+    p.name = "empty";
+    auto findings = verifyProgram(p);
+    ASSERT_FALSE(findings.empty());
+    EXPECT_NE(findings.front().find("AMN001"), std::string::npos)
+        << findings.front();
+}
+
+/** Regression: duplicate slice ids went unnoticed, making RCMP/REC
+ * cross-reference resolution ambiguous. */
+TEST(Verifier, RejectsDuplicateSliceIds)
+{
+    Program p = miniAmnesicProgram();
+    p.slices.push_back(p.slices[0]);
+    EXPECT_FALSE(isWellFormed(p));
+    bool saw_dup = false;
+    for (const std::string &finding : verifyProgram(p))
+        saw_dup = saw_dup || finding.find("AMN004") != std::string::npos;
+    EXPECT_TRUE(saw_dup);
+}
+
 }  // namespace
 }  // namespace amnesiac

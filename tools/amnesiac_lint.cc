@@ -1,0 +1,149 @@
+/**
+ * @file
+ * amnesiac-lint: stand-alone front end of the static analyzer.
+ *
+ *   amnesiac-lint [options] [binary.amnb ...]
+ *
+ *   --workload <name>      compile a registered workload and lint the
+ *                          amnesic binary (repeatable)
+ *   --all                  lint every registered workload
+ *   --seed <n>             workload seed (default 1)
+ *   --sfile <n>            SFile capacity checked against (default 192)
+ *   --hist <n>             Hist capacity checked against (default 600)
+ *   --Werror               warnings gate like errors
+ *   --json                 one JSON object per program instead of text
+ *   --quiet                suppress clean reports
+ *   --list-passes          print the pass pipeline and exit
+ *
+ * Positional arguments are serialized binaries (amnesiac-run --save).
+ * Exit status: 0 all clean, 1 gating findings, 2 usage or load errors.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "core/compiler.h"
+#include "isa/serialize.h"
+#include "workloads/registry.h"
+
+namespace {
+
+using namespace amnesiac;
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--workload <name>]... [--all] [--seed <n>] "
+                 "[--sfile <n>] [--hist <n>] [--Werror] [--json] "
+                 "[--quiet] [--list-passes] [binary.amnb ...]\n",
+                 argv0);
+    std::exit(2);
+}
+
+struct LintTarget
+{
+    std::string label;
+    Program program;
+};
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> workload_names;
+    std::vector<std::string> paths;
+    std::uint64_t seed = 1;
+    AnalyzerOptions options;
+    bool all = false;
+    bool werror = false;
+    bool json = false;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            workload_names.push_back(next());
+        } else if (arg == "--all") {
+            all = true;
+        } else if (arg == "--seed") {
+            seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--sfile") {
+            options.sfileCapacity = static_cast<std::uint32_t>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--hist") {
+            options.histCapacity = static_cast<std::uint32_t>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--Werror") {
+            werror = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--list-passes") {
+            for (const PassInfo &pass : standardPasses())
+                std::printf("%-12s %-14s %s\n",
+                            std::string(pass.name).c_str(),
+                            std::string(pass.idRange).c_str(),
+                            std::string(pass.summary).c_str());
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage(argv[0]);
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (all)
+        workload_names = registeredWorkloads();
+    if (workload_names.empty() && paths.empty())
+        usage(argv[0]);
+
+    std::vector<LintTarget> targets;
+    for (const std::string &path : paths) {
+        std::string error;
+        auto program = loadProgram(path, &error);
+        if (!program) {
+            std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+            return 2;
+        }
+        targets.push_back({path, std::move(*program)});
+    }
+    for (const std::string &name : workload_names) {
+        if (!isRegisteredWorkload(name)) {
+            std::fprintf(stderr, "unknown workload '%s'\n", name.c_str());
+            return 2;
+        }
+        // Same default pipeline as amnesiac-run: the lint target is the
+        // amnesic binary the default experiment would simulate.
+        Workload workload = makeWorkload(name, seed);
+        AmnesicCompiler compiler(EnergyModel{}, HierarchyConfig{},
+                                 CompilerConfig{});
+        targets.push_back({name,
+                           compiler.compile(workload.program).program});
+    }
+
+    bool gated = false;
+    for (const LintTarget &target : targets) {
+        AnalysisReport report = analyzeProgram(target.program, options);
+        report.programName = target.label;
+        gated = gated || report.gates(werror);
+        if (json) {
+            std::printf("%s\n", report.renderJson().c_str());
+        } else if (!quiet || report.count(Severity::Note) ||
+                   report.warningCount() || report.errorCount()) {
+            std::printf("== %s ==\n%s", target.label.c_str(),
+                        report.renderText().c_str());
+        }
+    }
+    return gated ? 1 : 0;
+}
