@@ -94,8 +94,22 @@ AmnesicMachine::execRec(const Instruction &instr)
                    &EnergyBreakdown::storeNj);
     e.chargeCycles(e.energyModel().instrLatency(InstrCategory::Rec));
 
-    if (_hist.record(instr.leafAddr, e.readReg(instr.rs1),
-                     e.readReg(instr.rs2))) {
+    std::uint64_t v0 = e.readReg(instr.rs1);
+    std::uint64_t v1 = e.readReg(instr.rs2);
+    bool commit = true;
+    if (_faults)
+        commit = _faults->onRecCheckpoint(instr.leafAddr, instr.sliceId,
+                                          !_hist.lookup(instr.leafAddr),
+                                          v0, v1);
+    if (!commit) {
+        // Injected drop: Hist silently keeps its previous contents. The
+        // slice is *not* poisoned — whether the stale/missing entry is
+        // masked or detected is exactly what the oracle checks.
+        e.setPc(e.pc() + 1);
+        return;
+    }
+
+    if (_hist.record(instr.leafAddr, v0, v1)) {
         ++e.mutableStats().histWrites;
     } else {
         // §3.5: a failed REC poisons its slice; the matching RCMP must
@@ -237,6 +251,11 @@ AmnesicMachine::traverseSlice(const Instruction &rcmp, std::uint64_t addr)
         }
         std::uint64_t value = ExecutionEngine::evalAlu(si.op, in[0], in[1],
                                                        si.imm);
+        // Fault surface: the value is corrupted *before* the SFile write,
+        // so the flip propagates exactly like a scratch-file SEU —
+        // through renamed reads and, at the root, into rd.
+        if (_faults)
+            _faults->onSliceValue(spc, rcmp.sliceId, value);
         auto slot = _sfile.alloc(value);
         if (!slot) {
             // §3.4 capacity overflow: poison the slice so later RCMPs

@@ -47,6 +47,51 @@ struct AmnesicConfig
 };
 
 /**
+ * Fault-injection extension point of the amnesic microarchitecture
+ * (src/testing). Callbacks fire at the two points where checkpoint and
+ * recomputation state is written, letting an injector flip bits or
+ * drop writes the way an SEU in the Hist/SFile SRAM would. Combined
+ * with EngineFaultHook (src/sim) for stepping-granularity faults and
+ * the Hist/SFile/MemoryHierarchy corrupt/erase/invalidate mutators,
+ * this is the complete fault surface of the differential-fuzzing
+ * harness. Implementations must only perturb *microarchitectural*
+ * state; the oracle's job is to prove such perturbations are masked by
+ * the fallback paths or flagged by the shadow check — never silent.
+ */
+class AmnesicFaultHooks
+{
+  public:
+    virtual ~AmnesicFaultHooks() = default;
+
+    /**
+     * A REC is about to checkpoint `v0`/`v1` into Hist[leaf_addr].
+     * Mutate the values to model corruption-at-write; return false to
+     * drop the checkpoint entirely (the REC still executes and
+     * charges, but Hist keeps its previous contents — a lost or stale
+     * checkpoint depending on whether an entry existed).
+     * @param fresh true when Hist has no entry for this leaf yet
+     */
+    virtual bool onRecCheckpoint(std::uint32_t leaf_addr,
+                                 std::uint32_t slice_id, bool fresh,
+                                 std::uint64_t &v0, std::uint64_t &v1)
+    {
+        (void)leaf_addr; (void)slice_id; (void)fresh; (void)v0; (void)v1;
+        return true;
+    }
+
+    /**
+     * A recomputing instruction produced `value`, about to be written
+     * into the SFile (and, for the slice root, the destination
+     * register). Mutating it models an SEU in the scratch file.
+     */
+    virtual void onSliceValue(std::uint32_t slice_pc,
+                              std::uint32_t slice_id, std::uint64_t &value)
+    {
+        (void)slice_pc; (void)slice_id; (void)value;
+    }
+};
+
+/**
  * Executes amnesic binaries. RCMP/REC/RTN semantics follow §3.3.2:
  * REC checkpoints into Hist (failed RECs poison their slice, §3.5);
  * RCMP consults the policy and either performs the load (with normal
@@ -76,6 +121,26 @@ class AmnesicMachine : public Machine, private ExecutionHooks
     /** Slices currently poisoned by failed RECs or SFile overflow. */
     std::size_t failedSliceCount() const { return _failedSlices.size(); }
 
+    // --- fault-injection / testing API ---------------------------------
+
+    /** Attach at most one fault hook (nullptr detaches). */
+    void setFaultHooks(AmnesicFaultHooks *hooks) { _faults = hooks; }
+
+    /** Attach an engine-level fault hook (per-step granularity). */
+    void setEngineFaultHook(EngineFaultHook *hook)
+    {
+        engine().setFaultHook(hook);
+    }
+
+    /** Mutable Hist/SFile/hierarchy access for persistent-state
+     * corruption between steps. Never used by production paths. */
+    Hist &mutableHist() { return _hist; }
+    SFile &mutableSFile() { return _sfile; }
+    MemoryHierarchy &mutableHierarchy()
+    {
+        return engine().mutableHierarchy();
+    }
+
   private:
     void execAmnesic(ExecutionEngine &engine,
                      const Instruction &instr) override;
@@ -99,6 +164,7 @@ class AmnesicMachine : public Machine, private ExecutionHooks
     std::unordered_set<std::uint32_t> _failedSlices;
     /** Precomputed per-slice runtime recompute energy (oracle rule). */
     std::vector<double> _sliceEnergy;
+    AmnesicFaultHooks *_faults = nullptr;
 };
 
 }  // namespace amnesiac

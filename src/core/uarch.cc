@@ -39,6 +39,14 @@ SFile::read(std::uint32_t index) const
 }
 
 void
+SFile::corrupt(std::uint32_t index, std::uint64_t xor_mask)
+{
+    AMNESIAC_ASSERT(index < _values.size(),
+                    "SFile corrupt of unallocated entry");
+    _values[index] ^= xor_mask;
+}
+
+void
 Renamer::beginSlice()
 {
     _map.fill(-1);
@@ -81,6 +89,23 @@ Hist::record(std::uint32_t leaf_addr, std::uint64_t v0, std::uint64_t v1)
     it->second.values = {v0, v1};
     ++_writes;
     return true;
+}
+
+bool
+Hist::corrupt(std::uint32_t leaf_addr, int lane, std::uint64_t xor_mask)
+{
+    AMNESIAC_ASSERT(lane == 0 || lane == 1, "Hist entries have two lanes");
+    auto it = _entries.find(leaf_addr);
+    if (it == _entries.end())
+        return false;
+    it->second.values[static_cast<std::size_t>(lane)] ^= xor_mask;
+    return true;
+}
+
+bool
+Hist::erase(std::uint32_t leaf_addr)
+{
+    return _entries.erase(leaf_addr) > 0;
 }
 
 const Hist::Entry *

@@ -51,6 +51,10 @@ class SFile
     std::uint32_t highWater() const { return _highWater; }
     std::uint64_t overflows() const { return _overflows; }
 
+    /** Fault injection: XOR a mask into an allocated entry (models an
+     * SEU in the scratch-file SRAM). The entry must be allocated. */
+    void corrupt(std::uint32_t index, std::uint64_t xor_mask);
+
   private:
     std::uint32_t _capacity;
     std::vector<std::uint64_t> _values;
@@ -116,6 +120,16 @@ class Hist
     std::uint64_t writes() const { return _writes; }
     std::uint64_t reads() const { return _reads; }
     std::uint64_t overflows() const { return _overflows; }
+
+    /** Fault injection: XOR a mask into one lane of a recorded entry
+     * (models an SEU in the history-table SRAM).
+     * @return false if the leaf has no entry */
+    bool corrupt(std::uint32_t leaf_addr, int lane,
+                 std::uint64_t xor_mask);
+
+    /** Fault injection: drop a recorded entry (a lost checkpoint).
+     * @return false if the leaf has no entry */
+    bool erase(std::uint32_t leaf_addr);
 
   private:
     std::uint32_t _capacity;

@@ -96,6 +96,22 @@ Cache::contains(std::uint64_t addr) const
     return false;
 }
 
+bool
+Cache::invalidate(std::uint64_t addr)
+{
+    std::uint64_t laddr = lineAddr(addr);
+    std::uint64_t tag = laddr / _numSets;
+    Line *set = &_lines[static_cast<std::size_t>(setIndex(laddr)) *
+                        _config.ways];
+    for (std::uint32_t w = 0; w < _config.ways; ++w) {
+        if (set[w].valid && set[w].tag == tag) {
+            set[w] = Line{};
+            return true;
+        }
+    }
+    return false;
+}
+
 void
 Cache::reset()
 {

@@ -58,6 +58,15 @@ class Cache
     /** Non-mutating lookup (no LRU update); used by probes and oracles. */
     bool contains(std::uint64_t addr) const;
 
+    /**
+     * Drop the line holding `addr` if present (fault injection: a
+     * particle strike invalidating an SRAM line). Placement-only, like
+     * every cache operation here — the data itself lives in the
+     * machine's flat memory, so correctness can never depend on this.
+     * @return true if a line was dropped
+     */
+    bool invalidate(std::uint64_t addr);
+
     /** Drop every line (also clears statistics). */
     void reset();
 

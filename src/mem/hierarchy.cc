@@ -69,6 +69,14 @@ MemoryHierarchy::write(std::uint64_t addr)
     return result;
 }
 
+bool
+MemoryHierarchy::invalidateLine(std::uint64_t addr)
+{
+    bool in_l1 = _l1.invalidate(addr);
+    bool in_l2 = _l2.invalidate(addr);
+    return in_l1 || in_l2;
+}
+
 MemLevel
 MemoryHierarchy::peekLevel(std::uint64_t addr) const
 {

@@ -72,6 +72,14 @@ class MemoryHierarchy
     /** Drop all cached state and statistics. */
     void reset();
 
+    /**
+     * Invalidate the line holding `addr` in both levels (fault
+     * injection). Affects only placement — future accesses re-fetch
+     * from below, changing energy/latency, never values.
+     * @return true if at least one level held the line
+     */
+    bool invalidateLine(std::uint64_t addr);
+
     const Cache &l1() const { return _l1; }
     const Cache &l2() const { return _l2; }
 

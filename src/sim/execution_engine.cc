@@ -35,6 +35,8 @@ ExecutionEngine::step()
     if (_halted)
         return false;
     AMNESIAC_ASSERT(_pc < _program.code.size(), "pc out of range");
+    if (_fault_hook)
+        _fault_hook->onStep(*this, _stats.dynInstrs);
     const Instruction &instr = _program.code[_pc];
     if (_observer)
         _observer->onExec(*this, _pc, instr);

@@ -64,6 +64,25 @@ class ExecutionObserver
 };
 
 /**
+ * Fault-injection extension point (src/testing): called before every
+ * instruction with the number of instructions already executed, so an
+ * injector can perturb *microarchitectural* state (cache placement,
+ * Hist/SFile contents via the owning machine) at a deterministic point
+ * of the dynamic instruction stream. Implementations must never touch
+ * architectural state (registers, memory, pc) — the differential
+ * oracle's transparency claim is precisely that such perturbations
+ * cannot change the program's outcome.
+ */
+class EngineFaultHook
+{
+  public:
+    virtual ~EngineFaultHook() = default;
+
+    virtual void onStep(ExecutionEngine &engine,
+                        std::uint64_t executed_instrs) = 0;
+};
+
+/**
  * Active extension point: the engine delegates every amnesic opcode
  * (Rcmp/Rec/Rtn) here. Implementations own the instruction's complete
  * semantics — they must advance the pc themselves and do their own
@@ -129,6 +148,9 @@ class ExecutionEngine
     /** Attach at most one observer (nullptr detaches). */
     void setObserver(ExecutionObserver *observer) { _observer = observer; }
 
+    /** Attach at most one fault hook (nullptr detaches; testing API). */
+    void setFaultHook(EngineFaultHook *hook) { _fault_hook = hook; }
+
     /**
      * Pure ALU evaluation of a sliceable opcode. Shared by execution,
      * the dependence tracker's mirroring, and dry-run slice evaluation.
@@ -174,6 +196,7 @@ class ExecutionEngine
     SimStats _stats;
     ExecutionObserver *_observer = nullptr;
     ExecutionHooks *_hooks = nullptr;
+    EngineFaultHook *_fault_hook = nullptr;
 };
 
 }  // namespace amnesiac

@@ -1,0 +1,175 @@
+#include "testing/generator.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/rng.h"
+
+namespace amnesiac {
+
+namespace {
+
+// Stream ids of the per-case RNG forks. Program shape, configuration,
+// fault planning, and data seeding each own a stream so adding a draw
+// to one can never shift the others (cases stay stable as the
+// generator evolves within a knob family).
+constexpr std::uint64_t kStreamShape = 0;
+constexpr std::uint64_t kStreamConfig = 1;
+constexpr std::uint64_t kStreamFaults = 2;
+constexpr std::uint64_t kStreamData = 3;
+
+std::uint32_t
+draw32(Xorshift64Star &rng, std::uint32_t lo, std::uint32_t hi)
+{
+    return static_cast<std::uint32_t>(rng.nextInRange(lo, hi));
+}
+
+WorkloadSpec
+drawSpec(Xorshift64Star &rng, std::uint64_t data_seed,
+         const GeneratorConfig &config)
+{
+    WorkloadSpec spec;
+    spec.seed = data_seed;
+
+    std::uint32_t chains =
+        draw32(rng, 1, std::max<std::uint32_t>(1, config.maxChains));
+    for (std::uint32_t c = 0; c < chains; ++c) {
+        ChainSpec chain;
+        chain.chainLen =
+            draw32(rng, 1, std::max<std::uint32_t>(1, config.maxChainLen));
+        chain.nc = rng.nextBool(0.5);
+        chain.logWords = draw32(rng, 8, std::max<std::uint32_t>(
+                                            8, config.maxLogWords));
+        chain.hotLogWords =
+            draw32(rng, 4, std::min<std::uint32_t>(chain.logWords, 10));
+        chain.coldPercent = draw32(rng, 0, 100);
+        chain.vlShift = draw32(rng, 0, 3);
+        chain.consumes = draw32(rng, config.minConsumes,
+                                std::max(config.minConsumes,
+                                         config.maxConsumes));
+        chain.neighborLoad = rng.nextBool(0.25);
+        spec.chains.push_back(chain);
+    }
+
+    // Background (non-recomputable) dilution. Pointer chasing is kept
+    // small and L2-resident: the generated cases must stay inside the
+    // fuzz smoke budget, not mimic mcf.
+    spec.untrackedLoadsPerIter = draw32(rng, 0, 2);
+    spec.untrackedLogWords = draw32(rng, 8, 12);
+    spec.chaseLoadsPerIter = draw32(rng, 0, 1);
+    spec.chaseLogWords = draw32(rng, 8, 12);
+    spec.fillerAluPerIter = draw32(rng, 0, 4);
+    spec.outStoreLogInterval = rng.nextBool(0.5) ? draw32(rng, 0, 6) : 255;
+    spec.outLogWords = draw32(rng, 6, 10);
+    return spec;
+}
+
+void
+drawConfigs(Xorshift64Star &rng, const GeneratorConfig &config,
+            GenCase &out)
+{
+    // Compiler knobs. matchThreshold stays pinned at 1.0 and
+    // liveThreshold at its strict default: relaxing either admits
+    // slices that legitimately recompute wrong values, turning the
+    // transparency oracle's divergence signal into noise.
+    out.compiler.builder.maxInstrs = draw32(rng, 4, 72);
+    out.compiler.builder.maxHeight = out.compiler.builder.maxInstrs;
+    out.compiler.builder.budgetMargin = 0.5 + rng.nextDouble() * 1.5;
+    out.compiler.stabilityThreshold = 0.80 + rng.nextDouble() * 0.15;
+    out.compiler.minSiteCount = rng.nextBool(0.5) ? 8 : 64;
+    out.compiler.profitabilityMargin = 0.75 + rng.nextDouble();
+    out.compiler.globalResidenceModel = rng.nextBool(0.75);
+
+    // Microarchitecture sizing, deliberately including undersized
+    // SFile/Hist capacities so overflow poisoning (§3.4/§3.5) and the
+    // AMN301/302 warnings are exercised. Capacity shortfalls must
+    // degrade to fallback loads, never to wrong values.
+    if (config.randomizeCapacities) {
+        out.amnesic.sfileCapacity = draw32(rng, 4, 256);
+        out.amnesic.histCapacity = draw32(rng, 1, 64);
+        out.amnesic.ibuffCapacity = draw32(rng, 8, 128);
+    }
+    out.amnesic.shadowCheck = true;  // the oracle's divergence detector
+
+    if (config.randomizeHierarchy) {
+        // Small L1 geometries (4KB..32KB) force capacity misses on the
+        // generated arrays; L2 stays at least 4x L1.
+        std::uint32_t l1_log = draw32(rng, 12, 15);
+        std::uint32_t l2_log = draw32(rng, l1_log + 2, 19);
+        out.hierarchy.l1.sizeBytes = 1ull << l1_log;
+        out.hierarchy.l1.ways = 1u << draw32(rng, 1, 3);
+        out.hierarchy.l1.lineBytes = rng.nextBool(0.5) ? 32 : 64;
+        out.hierarchy.l2.sizeBytes = 1ull << l2_log;
+        out.hierarchy.l2.ways = 8;
+        out.hierarchy.l2.lineBytes = out.hierarchy.l1.lineBytes;
+    }
+
+    // Energy: sweep the §5.5 communication-to-computation knob. This
+    // shifts every policy's recompute/load decisions without touching
+    // functional semantics.
+    out.energy.nonMemScale = 0.25 + rng.nextDouble() * 3.75;
+}
+
+FaultPlan
+drawFaults(Xorshift64Star &rng, const GeneratorConfig &config)
+{
+    FaultPlan plan;
+    if (!rng.nextBool(config.faultProbability))
+        return plan;
+    std::uint32_t count =
+        draw32(rng, 1, std::max<std::uint32_t>(1, config.maxFaults));
+    for (std::uint32_t i = 0; i < count; ++i) {
+        FaultSpec spec;
+        spec.kind = static_cast<FaultKind>(rng.nextBelow(
+            static_cast<std::uint64_t>(FaultKind::NumKinds)));
+        // Early triggers hit warm-up writes; the long tail reaches
+        // steady state. Exponential-ish spread over both regimes.
+        std::uint64_t magnitude = rng.nextBelow(12);
+        spec.trigger = rng.nextBelow((1ull << magnitude) + 1);
+        if (spec.kind == FaultKind::CacheEvict)
+            spec.trigger *= 64;  // instruction stream runs much longer
+        spec.mask = rng.next();
+        if (spec.mask == 0)
+            spec.mask = 1;
+        spec.lane = static_cast<std::uint32_t>(rng.nextBelow(2));
+        plan.push_back(spec);
+    }
+    return plan;
+}
+
+}  // namespace
+
+std::string
+GenCase::label() const
+{
+    std::ostringstream os;
+    os << "case-" << masterSeed << "-" << index;
+    return os.str();
+}
+
+GenCase
+generateCase(std::uint64_t master_seed, std::uint64_t index,
+             const GeneratorConfig &config)
+{
+    GenCase out;
+    out.masterSeed = master_seed;
+    out.index = index;
+
+    // One root per (seed, index); independent forks per concern.
+    Xorshift64Star root(
+        Xorshift64Star::deriveSeed(master_seed, index));
+    Xorshift64Star shape = root.split(kStreamShape);
+    Xorshift64Star conf = root.split(kStreamConfig);
+    Xorshift64Star faults = root.split(kStreamFaults);
+    Xorshift64Star data = root.split(kStreamData);
+
+    out.spec = drawSpec(shape, data.next(), config);
+    out.spec.name = out.label();
+    drawConfigs(conf, config, out);
+    out.faults = drawFaults(faults, config);
+
+    out.policies.assign(std::begin(kAllPolicies), std::end(kAllPolicies));
+    return out;
+}
+
+}  // namespace amnesiac

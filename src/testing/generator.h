@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Seeded random test-case generator of the differential-fuzzing
+ * harness. A GenCase bundles everything one differential experiment
+ * needs: a random (but analyzer-clean by construction) workload
+ * program, random compiler/microarchitecture/hierarchy/energy
+ * configurations, an optional fault plan, and the policy list to
+ * differential-check. Cases derive deterministically from
+ * (masterSeed, index) through independent RNG streams, so any case —
+ * including every one of a million — reproduces from two integers.
+ */
+
+#ifndef AMNESIAC_TESTING_GENERATOR_H
+#define AMNESIAC_TESTING_GENERATOR_H
+
+#include <string>
+#include <vector>
+
+#include "core/amnesic_machine.h"
+#include "core/compiler.h"
+#include "core/policy.h"
+#include "testing/fault.h"
+#include "workloads/kernels.h"
+
+namespace amnesiac {
+
+/** One generated differential test case. */
+struct GenCase
+{
+    /** Provenance: the case is generateCase(masterSeed, index). */
+    std::uint64_t masterSeed = 1;
+    std::uint64_t index = 0;
+
+    WorkloadSpec spec;
+    CompilerConfig compiler;
+    AmnesicConfig amnesic;
+    HierarchyConfig hierarchy;
+    EnergyConfig energy;
+    FaultPlan faults;
+    /** Policies to differential-check (Oracle runs the oracle-set
+     * binary; everything else the probabilistic one). */
+    std::vector<Policy> policies;
+    /** Runaway guard for every simulation of the case. */
+    std::uint64_t runLimit = 1ull << 28;
+
+    /** Stable display/file-stem name: "case-<masterSeed>-<index>". */
+    std::string label() const;
+};
+
+/** Bounds of the generated space (defaults tuned for CI smoke budget). */
+struct GeneratorConfig
+{
+    std::uint32_t maxChains = 3;
+    std::uint32_t maxChainLen = 12;
+    std::uint32_t minConsumes = 200;
+    std::uint32_t maxConsumes = 2000;
+    /** log2 array-size cap: 13 keeps cases in the tens of milliseconds
+     * while still spilling the 4KB/8KB fuzzed L1 geometries. */
+    std::uint32_t maxLogWords = 13;
+    /** Probability that a case carries a fault plan at all. */
+    double faultProbability = 0.5;
+    std::uint32_t maxFaults = 2;
+    /** Randomize cache geometry (else the Table 3 default). */
+    bool randomizeHierarchy = true;
+    /** Randomize SFile/Hist/IBuff capacities, including undersized
+     * ones that force overflow/poisoning paths. */
+    bool randomizeCapacities = true;
+};
+
+/** Derive case `index` of the stream named by `master_seed`. */
+GenCase generateCase(std::uint64_t master_seed, std::uint64_t index,
+                     const GeneratorConfig &config = {});
+
+}  // namespace amnesiac
+
+#endif  // AMNESIAC_TESTING_GENERATOR_H

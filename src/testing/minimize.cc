@@ -1,0 +1,127 @@
+#include "testing/minimize.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace amnesiac {
+
+namespace {
+
+/** All single-step candidate edits, cheapest-to-biggest-win first. */
+std::vector<GenCase>
+candidates(const GenCase &c)
+{
+    std::vector<GenCase> out;
+    auto push = [&](auto edit) {
+        GenCase copy = c;
+        edit(copy);
+        out.push_back(std::move(copy));
+    };
+
+    // Structure removal first: one policy, fewer chains, fewer faults.
+    if (c.policies.size() > 1) {
+        for (std::size_t i = 0; i < c.policies.size(); ++i)
+            push([&](GenCase &n) {
+                n.policies = {c.policies[i]};
+            });
+    }
+    for (std::size_t i = 0; i < c.spec.chains.size() &&
+                            c.spec.chains.size() > 1;
+         ++i)
+        push([&](GenCase &n) {
+            n.spec.chains.erase(n.spec.chains.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+        });
+    for (std::size_t i = 0; i < c.faults.size(); ++i)
+        push([&](GenCase &n) {
+            n.faults.erase(n.faults.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+        });
+
+    // Background-work removal.
+    if (c.spec.untrackedLoadsPerIter || c.spec.chaseLoadsPerIter ||
+        c.spec.fillerAluPerIter)
+        push([](GenCase &n) {
+            n.spec.untrackedLoadsPerIter = 0;
+            n.spec.chaseLoadsPerIter = 0;
+            n.spec.fillerAluPerIter = 0;
+        });
+    if (c.spec.outStoreLogInterval != 255)
+        push([](GenCase &n) { n.spec.outStoreLogInterval = 255; });
+
+    // Per-chain shrinking.
+    for (std::size_t i = 0; i < c.spec.chains.size(); ++i) {
+        const ChainSpec &ch = c.spec.chains[i];
+        if (ch.consumes > 50)
+            push([&](GenCase &n) {
+                n.spec.chains[i].consumes =
+                    std::max<std::uint32_t>(50, ch.consumes / 2);
+            });
+        if (ch.chainLen > 1)
+            push([&](GenCase &n) {
+                n.spec.chains[i].chainLen = ch.chainLen / 2;
+            });
+        if (ch.logWords > 8)
+            push([&](GenCase &n) {
+                ChainSpec &m = n.spec.chains[i];
+                --m.logWords;
+                m.hotLogWords = std::min(m.hotLogWords, m.logWords);
+            });
+        if (ch.neighborLoad)
+            push([&](GenCase &n) {
+                n.spec.chains[i].neighborLoad = false;
+            });
+        if (ch.nc)
+            push([&](GenCase &n) { n.spec.chains[i].nc = false; });
+        if (ch.vlShift)
+            push([&](GenCase &n) { n.spec.chains[i].vlShift = 0; });
+        if (ch.coldPercent != 100)
+            push([&](GenCase &n) {
+                n.spec.chains[i].coldPercent = 100;
+            });
+    }
+
+    // Fault-plan simplification: single-bit masks, earlier triggers.
+    for (std::size_t i = 0; i < c.faults.size(); ++i) {
+        const FaultSpec &f = c.faults[i];
+        if (f.mask != 1)
+            push([&](GenCase &n) { n.faults[i].mask = 1; });
+        if (f.trigger > 0)
+            push([&](GenCase &n) { n.faults[i].trigger /= 2; });
+    }
+    return out;
+}
+
+}  // namespace
+
+MinimizeResult
+minimizeCase(const GenCase &failing, std::size_t max_probes)
+{
+    MinimizeResult result;
+    result.minimized = failing;
+    result.report = runDifferential(failing);
+    AMNESIAC_ASSERT(result.report.failed(),
+                    "minimizeCase needs a failing case");
+
+    bool progressed = true;
+    while (progressed && result.probes < max_probes) {
+        progressed = false;
+        for (GenCase &candidate : candidates(result.minimized)) {
+            if (result.probes >= max_probes)
+                break;
+            ++result.probes;
+            DifferentialReport probe = runDifferential(candidate);
+            if (!probe.failed())
+                continue;
+            result.minimized = std::move(candidate);
+            result.report = std::move(probe);
+            ++result.accepted;
+            progressed = true;
+            break;  // restart from the shrunk case
+        }
+    }
+    return result;
+}
+
+}  // namespace amnesiac

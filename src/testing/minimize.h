@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Greedy test-case shrinking: given a failing GenCase, repeatedly try
+ * structure-removing and value-shrinking edits, keeping every edit that
+ * still fails the differential oracle. Each probe is a full
+ * differential run, so the budget is capped; the result is locally
+ * minimal (no single remaining edit passes), not globally minimal.
+ */
+
+#ifndef AMNESIAC_TESTING_MINIMIZE_H
+#define AMNESIAC_TESTING_MINIMIZE_H
+
+#include "testing/generator.h"
+#include "testing/oracle.h"
+
+namespace amnesiac {
+
+/** Outcome of one minimization. */
+struct MinimizeResult
+{
+    /** Smallest still-failing case found. */
+    GenCase minimized;
+    /** Oracle report of the minimized case. */
+    DifferentialReport report;
+    /** Differential runs spent probing candidates. */
+    std::size_t probes = 0;
+    /** Edits that stuck (0 means the input was already minimal). */
+    std::size_t accepted = 0;
+};
+
+/**
+ * Shrink a failing case. `failing` must satisfy
+ * runDifferential(failing).failed(); asserts otherwise.
+ * @param max_probes upper bound on candidate differential runs
+ */
+MinimizeResult minimizeCase(const GenCase &failing,
+                            std::size_t max_probes = 200);
+
+}  // namespace amnesiac
+
+#endif  // AMNESIAC_TESTING_MINIMIZE_H

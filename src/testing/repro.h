@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Repro-file format of the fuzzing harness: a GenCase renders to (and
+ * parses from) a *flat* JSON object — every field a top-level
+ * dotted-name key with a scalar value, no arrays or nesting — so a
+ * ~100-line scanner round-trips it with no JSON library. Failing and
+ * minimized cases serialize through this so any finding replays from a
+ * small hand-editable file (`amnesiac-fuzz --replay case.json`).
+ */
+
+#ifndef AMNESIAC_TESTING_REPRO_H
+#define AMNESIAC_TESTING_REPRO_H
+
+#include <string>
+
+#include "testing/generator.h"
+
+namespace amnesiac {
+
+/** Render a case as flat JSON (stable key order, round-trip exact). */
+std::string renderRepro(const GenCase &test_case);
+
+/**
+ * Parse a flat-JSON repro back into a case. Unknown keys are ignored
+ * (forward compatibility); missing keys keep their defaults.
+ * @return false (with a message in `error`) on malformed input
+ */
+bool parseRepro(const std::string &text, GenCase &out,
+                std::string &error);
+
+}  // namespace amnesiac
+
+#endif  // AMNESIAC_TESTING_REPRO_H

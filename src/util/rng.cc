@@ -49,6 +49,24 @@ Xorshift64Star::nextBool(double p)
     return nextDouble() < p;
 }
 
+std::uint64_t
+Xorshift64Star::deriveSeed(std::uint64_t seed, std::uint64_t stream_id)
+{
+    // SplitMix64: one golden-ratio increment per stream id, then the
+    // finalizer. The increment keeps adjacent stream ids far apart in
+    // state space; the finalizer decorrelates the low bits.
+    std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (stream_id + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+Xorshift64Star
+Xorshift64Star::split(std::uint64_t stream_id) const
+{
+    return Xorshift64Star(deriveSeed(_state, stream_id));
+}
+
 std::size_t
 Xorshift64Star::nextWeighted(const std::vector<double> &weights)
 {

@@ -53,6 +53,32 @@ class Xorshift64Star
     /** Expose the raw state for checkpoint-style tests. */
     std::uint64_t state() const { return _state; }
 
+    // --- splittable streams ---------------------------------------------
+    //
+    // Fuzzing and fault injection need *independently* reproducible draw
+    // sequences: the program-shape draws must not move when the
+    // fault-injector draws one value more. Streams solve this: a stream
+    // seed is a pure function of (seed, stream id), so each consumer owns
+    // its own generator and none can perturb the others.
+
+    /**
+     * Pure stream-seed derivation: mixes a base seed with a stream id
+     * through the SplitMix64 finalizer. Stable across runs, platforms,
+     * and library versions (pinned by a golden test); distinct stream
+     * ids give statistically unrelated generators.
+     */
+    static std::uint64_t deriveSeed(std::uint64_t seed,
+                                    std::uint64_t stream_id);
+
+    /**
+     * Split off an independent child generator for a named stream.
+     * Derivation uses the *current* state, so the same split point in a
+     * deterministic program yields the same child; later draws from the
+     * parent do not affect children already split, and drawing from a
+     * child never perturbs the parent.
+     */
+    Xorshift64Star split(std::uint64_t stream_id) const;
+
   private:
     std::uint64_t _state;
 };

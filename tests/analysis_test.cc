@@ -9,9 +9,15 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
 #include "analysis/analyzer.h"
 #include "core/compiler.h"
 #include "isa/program_builder.h"
+#include "testing/repro.h"
+#include "workloads/kernels.h"
 #include "workloads/registry.h"
 
 namespace amnesiac {
@@ -371,6 +377,41 @@ TEST(Analysis, RegistryCompilerOutputsLintClean)
         EXPECT_FALSE(report.gates(/*warnings_as_errors=*/true))
             << name << ":\n" << report.renderText();
     }
+}
+
+// --- property: the fuzz seed corpus compiles analyzer-clean ---
+
+TEST(Analysis, FuzzCorpusCompilerOutputsLintClean)
+{
+    std::filesystem::path dir(AMNESIAC_CORPUS_DIR);
+    ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+    std::size_t checked = 0;
+    for (const auto &entry : std::filesystem::directory_iterator(dir)) {
+        if (entry.path().extension() != ".json")
+            continue;
+        SCOPED_TRACE(entry.path().filename().string());
+        std::ifstream in(entry.path());
+        std::ostringstream text;
+        text << in.rdbuf();
+        GenCase fuzz_case;
+        std::string error;
+        ASSERT_TRUE(parseRepro(text.str(), fuzz_case, error)) << error;
+
+        Workload workload = buildWorkload(fuzz_case.spec);
+        AmnesicCompiler compiler(EnergyModel{fuzz_case.energy},
+                                 fuzz_case.hierarchy, fuzz_case.compiler);
+        CompileResult compiled = compiler.compile(workload.program);
+        // Lint against the case's own (possibly undersized) runtime
+        // capacities: capacity findings may warn, never error.
+        AnalyzerOptions options;
+        options.sfileCapacity = fuzz_case.amnesic.sfileCapacity;
+        options.histCapacity = fuzz_case.amnesic.histCapacity;
+        options.energy = fuzz_case.energy;
+        AnalysisReport report = analyzeProgram(compiled.program, options);
+        EXPECT_EQ(report.errorCount(), 0u) << report.renderText();
+        ++checked;
+    }
+    EXPECT_GE(checked, 5u);
 }
 
 }  // namespace

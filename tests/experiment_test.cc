@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "report/experiment.h"
+#include "report/figures.h"
 #include "workloads/registry.h"
 
 namespace amnesiac {
@@ -147,6 +148,47 @@ TEST(ExperimentTest, ParallelRunManyMatchesSerial)
         SCOPED_TRACE(workloads[i].name);
         // Deterministic input-order merge: slot i is workload i.
         EXPECT_EQ(serial[i].name, workloads[i].name);
+        expectResultsIdentical(serial[i], parallel[i]);
+    }
+}
+
+TEST(ExperimentTest, FullRegistryReportsAreByteIdenticalAcrossJobs)
+{
+    // The strongest form of the fan-out determinism guarantee: over the
+    // *entire* workload registry, the serial path (jobs=1) and the
+    // hardware-sized pool (jobs=0) must render byte-identical report
+    // artifacts — figures and tables, not just raw counters. Policy list
+    // kept to the two cheapest (no oracle-set recompile) so the sweep
+    // stays inside the ctest budget.
+    std::vector<Workload> workloads;
+    for (const std::string &name : registeredWorkloads())
+        workloads.push_back(makeWorkload(name, 1));
+    std::vector<Policy> policies = {Policy::Compiler, Policy::FLC};
+
+    ExperimentConfig serial_config;
+    serial_config.jobs = 1;
+    ExperimentConfig parallel_config;
+    parallel_config.jobs = 0;  // hardware_concurrency
+
+    auto render = [](const std::vector<BenchmarkResult> &results) {
+        std::string out = renderGainFigure(results, GainMetric::Edp);
+        out += renderGainFigure(results, GainMetric::Energy);
+        out += renderGainFigure(results, GainMetric::Time);
+        out += renderTable4(results);
+        out += renderTable5(results);
+        return out;
+    };
+
+    auto serial =
+        ExperimentRunner(serial_config).runMany(workloads, policies);
+    auto parallel =
+        ExperimentRunner(parallel_config).runMany(workloads, policies);
+
+    ASSERT_EQ(serial.size(), workloads.size());
+    ASSERT_EQ(parallel.size(), workloads.size());
+    EXPECT_EQ(render(serial), render(parallel));
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE(workloads[i].name);
         expectResultsIdentical(serial[i], parallel[i]);
     }
 }
