@@ -15,6 +15,7 @@ main(int argc, char **argv)
 {
     using namespace amnesiac;
     bench::BenchArgs args = bench::parseArgs(argc, argv);
+    bench::rejectObsArgs(args, argv[0]);
     ExperimentConfig config = args.config;
     bench::banner("Ablation: cache probe cost vs FLC/LLC gap", config);
     Workload w = makePaperBenchmark("is", args.seed);

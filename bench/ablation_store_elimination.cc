@@ -18,6 +18,7 @@ main(int argc, char **argv)
 {
     using namespace amnesiac;
     bench::BenchArgs args = bench::parseArgs(argc, argv);
+    bench::rejectObsArgs(args, argv[0]);
     ExperimentConfig config = args.config;
     bench::banner("Ablation: store elimination headroom (§1)", config);
 

@@ -3,8 +3,9 @@
  * Shared plumbing for the per-table/figure benchmark harnesses: builds
  * the 11-benchmark suite, runs the §5 pipeline (fanned out over the
  * experiment thread pool), parses the command-line knobs every harness
- * shares, and prints the Table 3 configuration echo every harness
- * leads with.
+ * shares — including the observability outputs (--trace /
+ * --site-report / --metrics) — and prints the Table 3 configuration
+ * echo every harness leads with.
  */
 
 #ifndef AMNESIAC_BENCH_COMMON_H
@@ -13,11 +14,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "report/experiment.h"
 #include "report/figures.h"
+#include "report/obs_export.h"
 #include "workloads/paper_suite.h"
 
 namespace amnesiac::bench {
@@ -27,16 +30,26 @@ struct BenchArgs
 {
     ExperimentConfig config;
     std::uint64_t seed = 1;
+    /** Observability outputs; empty = not requested. */
+    std::string tracePath;       ///< Chrome trace-event JSON
+    std::string siteReportPath;  ///< ranked per-site text report
+    std::string metricsPath;     ///< Prometheus text exposition
 };
 
 /**
  * Parse the harness-wide flags shared by every bench binary:
  *
- *   --jobs <n>   worker threads for the experiment pipeline
- *                (0 = hardware_concurrency, 1 = serial; default 0)
- *   --seed <n>   workload seed (default 1)
- *   --scale <x>  non-memory EPI scale, the §5.5 R knob
+ *   --jobs <n>          worker threads for the experiment pipeline
+ *                       (0 = hardware_concurrency, 1 = serial; default 0)
+ *   --seed <n>          workload seed (default 1)
+ *   --scale <x>         non-memory EPI scale, the §5.5 R knob
+ *   --trace <path>      write a Chrome/Perfetto trace of the run
+ *   --site-report <path> write the ranked per-RCMP-site report
+ *   --metrics <path>    write Prometheus metrics for the run
+ *   --max-records <n>   per-policy trace buffer cap (count-based and
+ *                       deterministic; exports state the dropped count)
  *
+ * Both `--flag value` and `--flag=value` spellings are accepted.
  * Unknown flags abort with a usage message so typos never silently run
  * the default experiment.
  */
@@ -45,31 +58,78 @@ parseArgs(int argc, char **argv)
 {
     BenchArgs args;
     for (int i = 1; i < argc; ++i) {
-        const char *arg = argv[i];
-        auto next = [&]() -> const char * {
+        std::string arg = argv[i];
+        std::string value;
+        bool has_value = false;
+        if (auto eq = arg.find('='); eq != std::string::npos) {
+            value = arg.substr(eq + 1);
+            arg.resize(eq);
+            has_value = true;
+        }
+        auto next = [&]() -> std::string {
+            if (has_value)
+                return value;
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "%s: missing value for %s\n",
-                             argv[0], arg);
+                             argv[0], arg.c_str());
                 std::exit(2);
             }
             return argv[++i];
         };
-        if (std::strcmp(arg, "--jobs") == 0) {
+        if (arg == "--jobs") {
             args.config.jobs = static_cast<unsigned>(
-                std::strtoul(next(), nullptr, 10));
-        } else if (std::strcmp(arg, "--seed") == 0) {
-            args.seed = std::strtoull(next(), nullptr, 10);
-        } else if (std::strcmp(arg, "--scale") == 0) {
-            args.config.energy.nonMemScale = std::strtod(next(), nullptr);
+                std::strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--seed") {
+            args.seed = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--scale") {
+            args.config.energy.nonMemScale =
+                std::strtod(next().c_str(), nullptr);
+        } else if (arg == "--trace") {
+            args.tracePath = next();
+        } else if (arg == "--site-report") {
+            args.siteReportPath = next();
+        } else if (arg == "--metrics") {
+            args.metricsPath = next();
+        } else if (arg == "--max-records") {
+            args.config.traceMaxRecords =
+                std::strtoull(next().c_str(), nullptr, 10);
         } else {
             std::fprintf(stderr,
                          "usage: %s [--jobs <n>] [--seed <n>] "
-                         "[--scale <x>]\n",
+                         "[--scale <x>] [--trace <path>] "
+                         "[--site-report <path>] [--metrics <path>] "
+                         "[--max-records <n>]\n",
                          argv[0]);
             std::exit(2);
         }
     }
+    // Event buffering costs memory; only pay for it when the trace is
+    // actually going somewhere. Site attribution is always on.
+    args.config.traceEvents = !args.tracePath.empty();
+    args.config.seed = args.seed;
     return args;
+}
+
+/**
+ * Harnesses that sweep many configurations (the ablations, Table 6)
+ * have no single result set to export, so the shared observability
+ * flags cannot be honored there. Asking for one must fail loudly — a
+ * requested artifact that silently never appears is worse than an
+ * error.
+ */
+inline void
+rejectObsArgs(const BenchArgs &args, const char *argv0)
+{
+    if (args.tracePath.empty() && args.siteReportPath.empty() &&
+        args.metricsPath.empty())
+        return;
+    std::fprintf(stderr,
+                 "%s: --trace/--site-report/--metrics are not supported "
+                 "by this sweep harness (no single result set to "
+                 "export); use amnesiac-run or amnesiac-trace on the "
+                 "workload/config of interest instead\n",
+                 argv0);
+    std::exit(2);
 }
 
 /** Print the standard harness banner. */
@@ -80,6 +140,40 @@ banner(const std::string &title, const ExperimentConfig &config)
     std::printf("AMNESIAC reproduction — %s\n", title.c_str());
     std::printf("==============================================================\n");
     std::printf("%s\n", renderArchitectureTable(config).c_str());
+}
+
+/** Write `content` to `path`, aborting loudly on failure: a silently
+ * missing artifact would defeat the point of asking for one. */
+inline void
+writeArtifact(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary);
+    out << content;
+    if (!out) {
+        std::fprintf(stderr, "failed to write %s\n", path.c_str());
+        std::exit(1);
+    }
+    std::fprintf(stderr, "  [obs] wrote %s (%zu bytes)\n", path.c_str(),
+                 content.size());
+}
+
+/** Emit whichever observability artifacts the arguments requested for
+ * a finished set of results. */
+inline void
+writeObsArtifacts(const BenchArgs &args,
+                  const std::vector<BenchmarkResult> &results)
+{
+    if (!args.tracePath.empty())
+        writeArtifact(args.tracePath,
+                      renderChromeTrace(traceTracks(results),
+                                        phaseSpans(results)));
+    if (!args.siteReportPath.empty())
+        writeArtifact(args.siteReportPath, renderAllSiteReports(results));
+    if (!args.metricsPath.empty()) {
+        MetricsRegistry metrics;
+        fillMetrics(metrics, results);
+        writeArtifact(args.metricsPath, metrics.renderPrometheus());
+    }
 }
 
 /** Run every paper benchmark through the given policies, fanned out
@@ -100,13 +194,17 @@ runSuite(const ExperimentConfig &config,
     return runner.runMany(workloads, policies);
 }
 
-/** runSuite with the parsed harness arguments (config + seed). */
+/** runSuite with the parsed harness arguments (config + seed), writing
+ * any requested observability artifacts before returning. */
 inline std::vector<BenchmarkResult>
 runSuite(const BenchArgs &args,
          const std::vector<Policy> &policies =
              {kAllPolicies, kAllPolicies + std::size(kAllPolicies)})
 {
-    return runSuite(args.config, policies, args.seed);
+    std::vector<BenchmarkResult> results =
+        runSuite(args.config, policies, args.seed);
+    writeObsArtifacts(args, results);
+    return results;
 }
 
 }  // namespace amnesiac::bench

@@ -20,6 +20,7 @@ main(int argc, char **argv)
 {
     using namespace amnesiac;
     bench::BenchArgs args = bench::parseArgs(argc, argv);
+    bench::rejectObsArgs(args, argv[0]);
     ExperimentConfig config = args.config;
     bench::banner("Table 6: break-even R (normalized to R_default)",
                   config);

@@ -41,25 +41,40 @@ AmnesicMachine::AmnesicMachine(const Program &program,
         ? energy.withNonMemScale(config.decisionNonMemScale)
         : energy;
     _sliceEnergy.resize(program.slices.size(), 0.0);
+    _sliceChargedNj.resize(program.slices.size(), 0.0);
     for (const RSliceMeta &meta : program.slices) {
         double erc = 0.0;
+        double charged = 0.0;
         for (std::uint32_t pc = meta.entry; pc < meta.entry + meta.length;
              ++pc) {
             const Instruction &instr = program.code[pc];
             erc += decision.instrEnergy(categoryOf(instr.op));
+            charged += energy.instrEnergy(categoryOf(instr.op));
             bool hist_operand =
                 (numSources(instr.op) >= 1 &&
                  instr.src1 == OperandSource::Hist) ||
                 (numSources(instr.op) >= 2 &&
                  instr.src2 == OperandSource::Hist);
-            if (hist_operand)
+            if (hist_operand) {
                 erc += decision.histAccessEnergy();
+                charged += energy.histAccessEnergy();
+            }
         }
         erc += decision.instrEnergy(InstrCategory::Rtn);
+        charged += energy.instrEnergy(InstrCategory::Rtn);
         AMNESIAC_ASSERT(meta.id < _sliceEnergy.size(),
                         "slice ids must be dense");
         _sliceEnergy[meta.id] = erc;
+        _sliceChargedNj[meta.id] = charged;
     }
+}
+
+double
+AmnesicMachine::runtimeSliceEnergy(std::uint32_t slice_id) const
+{
+    AMNESIAC_ASSERT(slice_id < _sliceChargedNj.size(),
+                    "slice id out of range");
+    return _sliceChargedNj[slice_id];
 }
 
 void
@@ -109,7 +124,8 @@ AmnesicMachine::execRec(const Instruction &instr)
         return;
     }
 
-    if (_hist.record(instr.leafAddr, v0, v1)) {
+    bool recorded = _hist.record(instr.leafAddr, v0, v1);
+    if (recorded) {
         ++e.mutableStats().histWrites;
     } else {
         // §3.5: a failed REC poisons its slice; the matching RCMP must
@@ -117,6 +133,9 @@ AmnesicMachine::execRec(const Instruction &instr)
         ++e.mutableStats().histOverflows;
         _failedSlices.insert(instr.sliceId);
     }
+    if (_trace)
+        _trace->onRec(e.stats().cycles, e.pc(), instr.sliceId,
+                      instr.leafAddr, !recorded);
     e.setPc(e.pc() + 1);
 }
 
@@ -132,16 +151,47 @@ AmnesicMachine::execRcmp(const Instruction &instr)
     e.chargeNonMem(InstrCategory::Rcmp);
 
     MemLevel residence = e.hierarchy().peekLevel(addr);
+
+    // Tracing is passive: the event is staged on the side and emitted
+    // once the RCMP resolved; nothing below consults it.
+    AmnesicTraceHooks::RcmpEvent traced;
+    if (_trace) {
+        traced.pc = rcmp_pc;
+        traced.sliceId = instr.sliceId;
+        traced.addr = addr;
+        traced.residence = residence;
+        traced.poisoned = _failedSlices.count(instr.sliceId) != 0;
+        traced.loadNj = e.energyModel().loadEnergy(residence);
+        traced.sliceNj = _sliceChargedNj[instr.sliceId];
+        traced.estSliceNj = _sliceEnergy[instr.sliceId];
+    }
+
     bool recompute = !_failedSlices.count(instr.sliceId) &&
-                     shouldRecompute(instr, addr, residence);
+                     shouldRecompute(instr, addr, residence,
+                                     _trace ? &traced : nullptr);
 
     if (recompute) {
         _ibuff.fill(e.program().slices[instr.sliceId].length);
-        if (traverseSlice(instr, addr)) {
+        if (_trace)
+            _trace->onSliceEntry(e.stats().cycles, rcmp_pc, instr.sliceId);
+        TraverseResult traversal = traverseSlice(instr, addr);
+        if (_trace) {
+            _trace->onSliceExit(e.stats().cycles, rcmp_pc, instr.sliceId,
+                                traversal.instrs, traversal.completed);
+            traced.histMissAbort = traversal.histMiss;
+            traced.sfileAbort = traversal.sfileOverflow;
+            traced.sliceInstrs = traversal.instrs;
+        }
+        if (traversal.completed) {
             ++e.mutableStats().recomputations;
             ++e.mutableStats().swappedByLevel[
                 static_cast<std::size_t>(residence)];
             e.setPc(rcmp_pc + 1);
+            if (_trace) {
+                traced.fired = true;
+                traced.cycles = e.stats().cycles;
+                _trace->onRcmp(traced);
+            }
             return;
         }
         recompute = false;  // aborted; fall back to the load
@@ -152,11 +202,16 @@ AmnesicMachine::execRcmp(const Instruction &instr)
     ++e.mutableStats().fallbackByLevel[
         static_cast<std::size_t>(residence)];
     e.setPc(rcmp_pc + 1);
+    if (_trace) {
+        traced.cycles = e.stats().cycles;
+        _trace->onRcmp(traced);
+    }
 }
 
 bool
 AmnesicMachine::shouldRecompute(const Instruction &instr,
-                                std::uint64_t addr, MemLevel residence)
+                                std::uint64_t addr, MemLevel residence,
+                                AmnesicTraceHooks::RcmpEvent *trace)
 {
     ExecutionEngine &e = engine();
     const EnergyModel &energy = e.energyModel();
@@ -194,15 +249,20 @@ AmnesicMachine::shouldRecompute(const Instruction &instr,
         bool actual_miss = residence != MemLevel::L1;
         _predictor.account(predicted_miss, actual_miss);
         _predictor.train(e.pc(), actual_miss);
+        if (trace) {
+            trace->predictorUsed = true;
+            trace->predictedMiss = predicted_miss;
+        }
         return predicted_miss;
       }
     }
     AMNESIAC_PANIC("shouldRecompute: bad policy");
 }
 
-bool
+AmnesicMachine::TraverseResult
 AmnesicMachine::traverseSlice(const Instruction &rcmp, std::uint64_t addr)
 {
+    TraverseResult result;
     ExecutionEngine &e = engine();
     const RSliceMeta &meta = e.program().slices[rcmp.sliceId];
     _sfile.beginSlice();
@@ -236,7 +296,8 @@ AmnesicMachine::traverseSlice(const Instruction &rcmp, std::uint64_t addr)
                     // The leaf's producer has not run yet: Condition-II
                     // unmet, perform the load instead.
                     ++e.mutableStats().histMissFallbacks;
-                    return false;
+                    result.histMiss = true;
+                    return result;
                 }
                 if (!hist_read_done) {
                     e.chargeEnergy(e.energyModel().histAccessEnergy(),
@@ -262,7 +323,8 @@ AmnesicMachine::traverseSlice(const Instruction &rcmp, std::uint64_t addr)
             // skip straight to the load.
             ++e.mutableStats().sfileAborts;
             _failedSlices.insert(rcmp.sliceId);
-            return false;
+            result.sfileOverflow = true;
+            return result;
         }
         _renamer.bind(si.rd, *slot);
         root_value = value;
@@ -272,6 +334,7 @@ AmnesicMachine::traverseSlice(const Instruction &rcmp, std::uint64_t addr)
         ++e.mutableStats().perCategory[static_cast<std::size_t>(
             categoryOf(si.op))];
         ++e.mutableStats().recomputedInstrs;
+        ++result.instrs;
     }
 
     // The closing RTN (§4: modeled after a jump).
@@ -286,14 +349,20 @@ AmnesicMachine::traverseSlice(const Instruction &rcmp, std::uint64_t addr)
 
     if (_config.shadowCheck) {
         ++e.mutableStats().recomputeChecked;
-        if (root_value != e.memRead(addr)) {
+        std::uint64_t expected = e.memRead(addr);
+        if (root_value != expected) {
             ++e.mutableStats().recomputeMismatches;
+            if (_trace)
+                _trace->onShadowMismatch(e.stats().cycles, e.pc(),
+                                         rcmp.sliceId, addr, root_value,
+                                         expected);
             if (_config.strictMismatch)
                 AMNESIAC_PANIC("recomputed value mismatch at pc " +
                                std::to_string(e.pc()));
         }
     }
-    return true;
+    result.completed = true;
+    return result;
 }
 
 }  // namespace amnesiac

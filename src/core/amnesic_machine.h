@@ -18,6 +18,94 @@
 
 namespace amnesiac {
 
+/**
+ * Passive trace extension point of the amnesic scheduler (src/obs):
+ * callbacks fire at every §3.3 decision and structure event so a tracer
+ * can attribute behaviour to individual static RCMP sites. Like
+ * ExecutionObserver, implementations must never mutate machine state —
+ * the differential harness replays its corpus with and without an
+ * attached tracer and requires bit-identical outcomes. All callbacks
+ * default to no-ops; the machine pays a single null-pointer check per
+ * amnesic opcode when no tracer is attached (the classic hot path is
+ * untouched).
+ *
+ * Timestamps are simulated cycles, not wall clock, so the event stream
+ * of a given (program, policy, config) is deterministic: byte-identical
+ * across runs and independent of the experiment pipeline's `jobs`.
+ */
+class AmnesicTraceHooks
+{
+  public:
+    virtual ~AmnesicTraceHooks() = default;
+
+    /** Everything observable about one resolved RCMP instance. */
+    struct RcmpEvent
+    {
+        std::uint64_t cycles = 0;   ///< simulated cycles at resolution
+        std::uint32_t pc = 0;       ///< static RCMP site
+        std::uint32_t sliceId = 0;
+        std::uint64_t addr = 0;     ///< effective address of the swapped load
+        MemLevel residence = MemLevel::L1;  ///< residence at decision time
+        bool fired = false;         ///< recomputation ran to completion
+        bool poisoned = false;      ///< slice poisoned: went straight to load
+        bool histMissAbort = false; ///< traversal aborted, Condition-II unmet
+        bool sfileAbort = false;    ///< traversal aborted, SFile overflow
+        bool predictorUsed = false; ///< Policy::Predictor verdict below
+        bool predictedMiss = false;
+        std::uint32_t sliceInstrs = 0;  ///< slice instrs the traversal ran
+        /** Charged-model energy of the load this site would perform at
+         * `residence`, and of one full slice traversal — the realized
+         * side of the compiler's Eld/Erc estimate. */
+        double loadNj = 0.0;
+        double sliceNj = 0.0;
+        /** Decision-model (oracle rule) Erc, which may be pinned to a
+         * different non-memory scale (Table 6); the rule's Eld side is
+         * `loadNj`. */
+        double estSliceNj = 0.0;
+    };
+
+    /** An RCMP resolved to either a recomputation or a fallback load. */
+    virtual void onRcmp(const RcmpEvent &event) { (void)event; }
+
+    /** Slice traversal is starting. */
+    virtual void
+    onSliceEntry(std::uint64_t cycles, std::uint32_t rcmp_pc,
+                 std::uint32_t slice_id)
+    {
+        (void)cycles; (void)rcmp_pc; (void)slice_id;
+    }
+
+    /** Slice traversal finished (completed) or aborted mid-slice. */
+    virtual void
+    onSliceExit(std::uint64_t cycles, std::uint32_t rcmp_pc,
+                std::uint32_t slice_id, std::uint32_t instrs,
+                bool completed)
+    {
+        (void)cycles; (void)rcmp_pc; (void)slice_id; (void)instrs;
+        (void)completed;
+    }
+
+    /** A REC checkpointed into Hist (or overflowed it, §3.5). */
+    virtual void
+    onRec(std::uint64_t cycles, std::uint32_t pc, std::uint32_t slice_id,
+          std::uint32_t leaf_addr, bool overflowed)
+    {
+        (void)cycles; (void)pc; (void)slice_id; (void)leaf_addr;
+        (void)overflowed;
+    }
+
+    /** The shadow check caught a recomputed value diverging from
+     * functional memory. */
+    virtual void
+    onShadowMismatch(std::uint64_t cycles, std::uint32_t pc,
+                     std::uint32_t slice_id, std::uint64_t addr,
+                     std::uint64_t recomputed, std::uint64_t expected)
+    {
+        (void)cycles; (void)pc; (void)slice_id; (void)addr;
+        (void)recomputed; (void)expected;
+    }
+};
+
 /** Configuration of the amnesic microarchitecture and scheduler. */
 struct AmnesicConfig
 {
@@ -121,6 +209,16 @@ class AmnesicMachine : public Machine, private ExecutionHooks
     /** Slices currently poisoned by failed RECs or SFile overflow. */
     std::size_t failedSliceCount() const { return _failedSlices.size(); }
 
+    /** Charged-model energy of one full traversal of a slice (the
+     * realized Erc; the decision rule may use a pinned model instead). */
+    double runtimeSliceEnergy(std::uint32_t slice_id) const;
+
+    // --- observability API ----------------------------------------------
+
+    /** Attach at most one tracer (nullptr detaches). Tracing is
+     * passive: behaviour and SimStats are identical with and without. */
+    void setTraceHooks(AmnesicTraceHooks *hooks) { _trace = hooks; }
+
     // --- fault-injection / testing API ---------------------------------
 
     /** Attach at most one fault hook (nullptr detaches). */
@@ -145,15 +243,26 @@ class AmnesicMachine : public Machine, private ExecutionHooks
     void execAmnesic(ExecutionEngine &engine,
                      const Instruction &instr) override;
 
+    /** Why a traversal stopped, plus how much of it ran (tracing). */
+    struct TraverseResult
+    {
+        bool completed = false;
+        bool histMiss = false;      ///< aborted on an unwritten Hist entry
+        bool sfileOverflow = false; ///< aborted on SFile overflow
+        std::uint32_t instrs = 0;   ///< slice instructions executed
+    };
+
     void execRec(const Instruction &instr);
     void execRcmp(const Instruction &instr);
-    /** Decide per §3.3.1. Probes are charged here. */
+    /** Decide per §3.3.1. Probes are charged here. `trace` (when
+     * tracing) receives the predictor verdict; the decision itself is
+     * identical whether or not a tracer is attached. */
     bool shouldRecompute(const Instruction &instr, std::uint64_t addr,
-                         MemLevel residence);
-    /** Traverse the slice; returns false on SFile overflow (fallback). */
-    bool traverseSlice(const Instruction &rcmp, std::uint64_t addr);
-    /** Charged-energy sum of a slice's recomputing instructions. */
-    double runtimeSliceEnergy(std::uint32_t slice_id) const;
+                         MemLevel residence,
+                         AmnesicTraceHooks::RcmpEvent *trace);
+    /** Traverse the slice; anything but `completed` means fallback. */
+    TraverseResult traverseSlice(const Instruction &rcmp,
+                                 std::uint64_t addr);
 
     AmnesicConfig _config;
     SFile _sfile;
@@ -164,7 +273,10 @@ class AmnesicMachine : public Machine, private ExecutionHooks
     std::unordered_set<std::uint32_t> _failedSlices;
     /** Precomputed per-slice runtime recompute energy (oracle rule). */
     std::vector<double> _sliceEnergy;
+    /** Same sums under the charged model (site attribution / tracing). */
+    std::vector<double> _sliceChargedNj;
     AmnesicFaultHooks *_faults = nullptr;
+    AmnesicTraceHooks *_trace = nullptr;
 };
 
 }  // namespace amnesiac

@@ -1,0 +1,39 @@
+#include "obs/manifest.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace amnesiac {
+
+std::uint64_t
+fnv1aDigest(std::string_view bytes)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (unsigned char c : bytes) {
+        hash ^= c;
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+std::string
+renderManifestJson(const RunManifest &manifest)
+{
+    char buf[640];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"configDigest\":\"%016" PRIx64 "\",\"seed\":%" PRIu64
+        ",\"jobsRequested\":%u,\"jobsEffective\":%u,"
+        "\"phases\":{\"classicSec\":%.6f,\"compileSec\":%.6f,"
+        "\"simulateSec\":%.6f,\"totalSec\":%.6f},"
+        "\"pool\":{\"jobsExecuted\":%" PRIu64
+        ",\"queueWaitSec\":%.6f,\"workerBusySec\":%.6f}}",
+        manifest.configDigest, manifest.seed, manifest.jobsRequested,
+        manifest.jobsEffective, manifest.phases.classicSec,
+        manifest.phases.compileSec, manifest.phases.simulateSec,
+        manifest.phases.totalSec, manifest.pool.jobsExecuted,
+        manifest.pool.queueWaitSec, manifest.pool.workerBusySec);
+    return buf;
+}
+
+}  // namespace amnesiac

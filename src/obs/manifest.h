@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Run provenance: a manifest attached to every BenchmarkResult that
+ * records what produced it (config digest, seed, worker counts) and
+ * what it cost (wall-clock per pipeline phase, thread-pool
+ * utilization). The digest covers every field of ExperimentConfig that
+ * affects simulation *content* — and deliberately excludes `jobs`,
+ * which only affects scheduling: two manifests with equal digests claim
+ * bit-identical results, which is exactly the pipeline's determinism
+ * contract.
+ */
+
+#ifndef AMNESIAC_OBS_MANIFEST_H
+#define AMNESIAC_OBS_MANIFEST_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace amnesiac {
+
+/** FNV-1a 64-bit over a canonical config string. */
+std::uint64_t fnv1aDigest(std::string_view bytes);
+
+/** Wall-clock seconds spent in each pipeline phase of one workload. */
+struct PhaseTimes
+{
+    double classicSec = 0.0;   ///< classic (baseline) simulation
+    double compileSec = 0.0;   ///< both compiles (prob + oracle sets)
+    double simulateSec = 0.0;  ///< all amnesic policy simulations
+    double totalSec = 0.0;     ///< end-to-end, including merge overhead
+};
+
+/** Thread-pool utilization over one run. */
+struct PoolStats
+{
+    std::uint64_t jobsExecuted = 0;
+    double queueWaitSec = 0.0;   ///< summed enqueue → start latency
+    double workerBusySec = 0.0;  ///< summed task execution time
+};
+
+/** Provenance + cost of one BenchmarkResult. */
+struct RunManifest
+{
+    /** FNV-1a over the canonical config string (excludes jobs). */
+    std::uint64_t configDigest = 0;
+    std::uint64_t seed = 0;
+    unsigned jobsRequested = 0;
+    unsigned jobsEffective = 1;
+    PhaseTimes phases;
+    PoolStats pool;
+};
+
+/**
+ * One JSON object. Deterministic fields (digest, seed, jobs) come
+ * first so a byte-prefix of the render can serve as a determinism
+ * witness; wall-clock fields follow.
+ */
+std::string renderManifestJson(const RunManifest &manifest);
+
+}  // namespace amnesiac
+
+#endif  // AMNESIAC_OBS_MANIFEST_H

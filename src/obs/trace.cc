@@ -1,0 +1,416 @@
+#include "obs/trace.h"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace amnesiac {
+
+std::string_view
+traceEventName(TraceEventKind kind)
+{
+    switch (kind) {
+      case TraceEventKind::RcmpDecision:     return "rcmp";
+      case TraceEventKind::SliceEntry:       return "slice-entry";
+      case TraceEventKind::SliceExit:        return "slice-exit";
+      case TraceEventKind::RecWrite:         return "rec";
+      case TraceEventKind::HistOverflow:     return "hist-overflow";
+      case TraceEventKind::HistMissFallback: return "hist-miss-fallback";
+      case TraceEventKind::SFileAbort:       return "sfile-abort";
+      case TraceEventKind::ShadowMismatch:   return "shadow-mismatch";
+      case TraceEventKind::Load:             return "load";
+      case TraceEventKind::Store:            return "store";
+    }
+    return "?";
+}
+
+void
+AmnesicTracer::attach(AmnesicMachine &machine)
+{
+    machine.setTraceHooks(this);
+    if (_options.memory)
+        machine.setObserver(this);
+}
+
+void
+AmnesicTracer::onRcmp(const RcmpEvent &event)
+{
+    TraceRecord r;
+    r.kind = TraceEventKind::RcmpDecision;
+    r.cycles = event.cycles;
+    r.pc = event.pc;
+    r.sliceId = event.sliceId;
+    r.aux = event.sliceInstrs;
+    r.level = static_cast<std::uint8_t>(event.residence);
+    if (event.fired)
+        r.flags |= kTraceFired;
+    if (event.poisoned)
+        r.flags |= kTracePoisoned;
+    if (event.histMissAbort)
+        r.flags |= kTraceHistMissAbort;
+    if (event.sfileAbort)
+        r.flags |= kTraceSFileAbort;
+    if (event.predictorUsed)
+        r.flags |= kTracePredictorUsed;
+    if (event.predictedMiss)
+        r.flags |= kTracePredictedMiss;
+    r.a = event.addr;
+    // Realized energy delta of this instance: what firing saved (or
+    // cost) under the charged model; zero for fallbacks (no swap).
+    double delta = event.fired ? event.loadNj - event.sliceNj : 0.0;
+    r.b = std::bit_cast<std::uint64_t>(delta);
+    _buffer.append(r);
+
+    // Aborts get their own instant events so Hist pressure and SFile
+    // kills are greppable without decoding the decision flags.
+    if (event.histMissAbort || event.sfileAbort) {
+        TraceRecord cause;
+        cause.kind = event.histMissAbort ? TraceEventKind::HistMissFallback
+                                         : TraceEventKind::SFileAbort;
+        cause.cycles = event.cycles;
+        cause.pc = event.pc;
+        cause.sliceId = event.sliceId;
+        cause.aux = event.sliceInstrs;
+        _buffer.append(cause);
+    }
+}
+
+void
+AmnesicTracer::onSliceEntry(std::uint64_t cycles, std::uint32_t rcmp_pc,
+                            std::uint32_t slice_id)
+{
+    TraceRecord r;
+    r.kind = TraceEventKind::SliceEntry;
+    r.cycles = cycles;
+    r.pc = rcmp_pc;
+    r.sliceId = slice_id;
+    _buffer.append(r);
+}
+
+void
+AmnesicTracer::onSliceExit(std::uint64_t cycles, std::uint32_t rcmp_pc,
+                           std::uint32_t slice_id, std::uint32_t instrs,
+                           bool completed)
+{
+    TraceRecord r;
+    r.kind = TraceEventKind::SliceExit;
+    r.cycles = cycles;
+    r.pc = rcmp_pc;
+    r.sliceId = slice_id;
+    r.aux = instrs;
+    if (completed)
+        r.flags |= kTraceCompleted;
+    _buffer.append(r);
+}
+
+void
+AmnesicTracer::onRec(std::uint64_t cycles, std::uint32_t pc,
+                     std::uint32_t slice_id, std::uint32_t leaf_addr,
+                     bool overflowed)
+{
+    TraceRecord r;
+    r.kind = overflowed ? TraceEventKind::HistOverflow
+                        : TraceEventKind::RecWrite;
+    r.cycles = cycles;
+    r.pc = pc;
+    r.sliceId = slice_id;
+    r.aux = leaf_addr;
+    _buffer.append(r);
+}
+
+void
+AmnesicTracer::onShadowMismatch(std::uint64_t cycles, std::uint32_t pc,
+                                std::uint32_t slice_id, std::uint64_t addr,
+                                std::uint64_t recomputed,
+                                std::uint64_t expected)
+{
+    TraceRecord r;
+    r.kind = TraceEventKind::ShadowMismatch;
+    r.cycles = cycles;
+    r.pc = pc;
+    r.sliceId = slice_id;
+    r.aux = static_cast<std::uint32_t>(addr / 8);
+    r.a = recomputed;
+    r.b = expected;
+    _buffer.append(r);
+}
+
+void
+AmnesicTracer::onLoad(const ExecutionEngine &e, std::uint32_t pc,
+                      std::uint64_t addr, std::uint64_t value,
+                      MemLevel serviced)
+{
+    TraceRecord r;
+    r.kind = TraceEventKind::Load;
+    r.cycles = e.stats().cycles;
+    r.pc = pc;
+    r.sliceId = kNoSlice;
+    r.level = static_cast<std::uint8_t>(serviced);
+    r.a = addr;
+    r.b = value;
+    _buffer.append(r);
+}
+
+void
+AmnesicTracer::onStore(const ExecutionEngine &e, std::uint32_t pc,
+                       std::uint64_t addr, std::uint64_t value,
+                       MemLevel serviced)
+{
+    TraceRecord r;
+    r.kind = TraceEventKind::Store;
+    r.cycles = e.stats().cycles;
+    r.pc = pc;
+    r.sliceId = kNoSlice;
+    r.level = static_cast<std::uint8_t>(serviced);
+    r.a = addr;
+    r.b = value;
+    _buffer.append(r);
+}
+
+namespace {
+
+/** %.17g round-trips doubles exactly; deterministic arithmetic means
+ * deterministic bytes. */
+void
+appendDouble(std::string &out, double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out += buf;
+}
+
+void
+appendU64(std::string &out, std::uint64_t value)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    out += buf;
+}
+
+void
+appendJsonlRecord(std::string &out, const TraceRecord &r)
+{
+    out += "{\"ev\":\"";
+    out += traceEventName(r.kind);
+    out += "\",\"ts\":";
+    appendU64(out, r.cycles);
+    out += ",\"pc\":";
+    appendU64(out, r.pc);
+    if (r.sliceId != kNoSlice) {
+        out += ",\"slice\":";
+        appendU64(out, r.sliceId);
+    }
+    switch (r.kind) {
+      case TraceEventKind::RcmpDecision:
+        out += ",\"addr\":";
+        appendU64(out, r.a);
+        out += ",\"res\":\"";
+        out += memLevelName(static_cast<MemLevel>(r.level));
+        out += "\",\"fired\":";
+        out += (r.flags & kTraceFired) ? "true" : "false";
+        if (r.flags & kTracePoisoned)
+            out += ",\"poisoned\":true";
+        if (r.flags & kTraceHistMissAbort)
+            out += ",\"histMissAbort\":true";
+        if (r.flags & kTraceSFileAbort)
+            out += ",\"sfileAbort\":true";
+        if (r.flags & kTracePredictorUsed) {
+            out += ",\"pred\":\"";
+            out += (r.flags & kTracePredictedMiss) ? "miss" : "hit";
+            out += "\"";
+        }
+        out += ",\"instrs\":";
+        appendU64(out, r.aux);
+        out += ",\"deltaNj\":";
+        appendDouble(out, std::bit_cast<double>(r.b));
+        break;
+      case TraceEventKind::SliceEntry:
+        break;
+      case TraceEventKind::SliceExit:
+        out += ",\"instrs\":";
+        appendU64(out, r.aux);
+        out += ",\"completed\":";
+        out += (r.flags & kTraceCompleted) ? "true" : "false";
+        break;
+      case TraceEventKind::RecWrite:
+      case TraceEventKind::HistOverflow:
+        out += ",\"leaf\":";
+        appendU64(out, r.aux);
+        break;
+      case TraceEventKind::HistMissFallback:
+      case TraceEventKind::SFileAbort:
+        out += ",\"instrs\":";
+        appendU64(out, r.aux);
+        break;
+      case TraceEventKind::ShadowMismatch:
+        out += ",\"addr\":";
+        appendU64(out, std::uint64_t{r.aux} * 8);
+        out += ",\"got\":";
+        appendU64(out, r.a);
+        out += ",\"want\":";
+        appendU64(out, r.b);
+        break;
+      case TraceEventKind::Load:
+      case TraceEventKind::Store:
+        out += ",\"addr\":";
+        appendU64(out, r.a);
+        out += ",\"val\":";
+        appendU64(out, r.b);
+        out += ",\"lvl\":\"";
+        out += memLevelName(static_cast<MemLevel>(r.level));
+        out += "\"";
+        break;
+    }
+    out += "}\n";
+}
+
+void
+appendJsonString(std::string &out, std::string_view s)
+{
+    out += '"';
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+}
+
+void
+appendChromeEvent(std::string &out, bool &first, const TraceRecord &r,
+                  int tid)
+{
+    auto emit = [&](const char *name, char ph, std::uint64_t ts,
+                    const std::string &args) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += "{\"name\":";
+        appendJsonString(out, name);
+        out += ",\"ph\":\"";
+        out += ph;
+        out += "\",\"ts\":";
+        appendU64(out, ts);
+        out += ",\"pid\":1,\"tid\":";
+        appendU64(out, static_cast<std::uint64_t>(tid));
+        if (ph == 'i')
+            out += ",\"s\":\"t\"";
+        if (!args.empty()) {
+            out += ",\"args\":{";
+            out += args;
+            out += "}";
+        }
+        out += "}";
+    };
+
+    std::string args;
+    auto arg = [&](const char *key, std::uint64_t value) {
+        if (!args.empty())
+            args += ",";
+        args += "\"";
+        args += key;
+        args += "\":";
+        appendU64(args, value);
+    };
+
+    switch (r.kind) {
+      case TraceEventKind::RcmpDecision: {
+        arg("pc", r.pc);
+        arg("slice", r.sliceId);
+        arg("addr", r.a);
+        if (!args.empty())
+            args += ",";
+        args += "\"residence\":\"";
+        args += memLevelName(static_cast<MemLevel>(r.level));
+        args += "\",\"deltaNj\":";
+        appendDouble(args, std::bit_cast<double>(r.b));
+        emit((r.flags & kTraceFired) ? "rcmp:fire" : "rcmp:fallback", 'i',
+             r.cycles, args);
+        break;
+      }
+      case TraceEventKind::SliceEntry: {
+        std::string name = "slice " + std::to_string(r.sliceId);
+        arg("pc", r.pc);
+        emit(name.c_str(), 'B', r.cycles, args);
+        break;
+      }
+      case TraceEventKind::SliceExit: {
+        std::string name = "slice " + std::to_string(r.sliceId);
+        arg("instrs", r.aux);
+        emit(name.c_str(), 'E', r.cycles, args);
+        break;
+      }
+      default: {
+        arg("pc", r.pc);
+        if (r.sliceId != kNoSlice)
+            arg("slice", r.sliceId);
+        emit(std::string(traceEventName(r.kind)).c_str(), 'i', r.cycles,
+             args);
+        break;
+      }
+    }
+}
+
+}  // namespace
+
+std::string
+renderTraceJsonl(const TraceBuffer &buffer)
+{
+    std::string out;
+    out.reserve(buffer.size() * 96 + 128);
+    for (const TraceRecord &r : buffer.records())
+        appendJsonlRecord(out, r);
+    out += "{\"ev\":\"meta\",\"kept\":";
+    appendU64(out, buffer.size());
+    out += ",\"dropped\":";
+    appendU64(out, buffer.dropped());
+    out += "}\n";
+    return out;
+}
+
+std::string
+renderChromeTrace(const std::vector<TraceTrack> &tracks,
+                  const std::vector<PhaseSpan> &phases)
+{
+    std::string out = "{\"traceEvents\":[\n";
+    bool first = true;
+
+    // tid 0: the wall-clock pipeline-phase track.
+    if (!phases.empty()) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+               "\"tid\":0,\"args\":{\"name\":\"pipeline (wall clock)\"}}";
+        for (const PhaseSpan &span : phases) {
+            out += ",\n{\"name\":";
+            appendJsonString(out, span.name);
+            out += ",\"ph\":\"X\",\"ts\":";
+            appendDouble(out, span.startUs);
+            out += ",\"dur\":";
+            appendDouble(out, span.durUs);
+            out += ",\"pid\":1,\"tid\":0}";
+        }
+    }
+
+    int tid = 1;
+    for (const TraceTrack &track : tracks) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+        appendU64(out, static_cast<std::uint64_t>(tid));
+        out += ",\"args\":{\"name\":";
+        appendJsonString(out, track.name + " (cycles)");
+        out += "}}";
+        if (track.buffer)
+            for (const TraceRecord &r : track.buffer->records())
+                appendChromeEvent(out, first, r, tid);
+        ++tid;
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+}  // namespace amnesiac

@@ -1,12 +1,27 @@
 #include "report/experiment.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
 
 #include "analysis/analyzer.h"
 #include "sim/machine.h"
 #include "util/logging.h"
 
 namespace amnesiac {
+
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+double
+secondsSince(WallClock::time_point start)
+{
+    return std::chrono::duration<double>(WallClock::now() - start).count();
+}
+
+}  // namespace
 
 std::array<double, kNumMemLevels>
 PolicyOutcome::swappedResidencePct() const
@@ -64,6 +79,86 @@ ExperimentRunner::effectiveJobs() const
                              : _config.jobs;
 }
 
+std::string
+ExperimentRunner::canonicalConfigString(const ExperimentConfig &config)
+{
+    // Every field below changes what the simulations compute; `jobs`
+    // and the trace-buffering knobs (traceEvents/traceMemory/
+    // traceMaxRecords) are excluded because tracing is passive and
+    // scheduling is content-free — that exclusion *is* the digest's
+    // claim. Append-only: new content-affecting fields must be added
+    // at the end so old digests stay comparable within a revision.
+    std::string out;
+    out.reserve(768);
+    char buf[64];
+    auto num = [&](const char *key, double value) {
+        std::snprintf(buf, sizeof(buf), "%s=%.17g;", key, value);
+        out += buf;
+    };
+    auto u64 = [&](const char *key, std::uint64_t value) {
+        std::snprintf(buf, sizeof(buf), "%s=%" PRIu64 ";", key, value);
+        out += buf;
+    };
+
+    const EnergyConfig &e = config.energy;
+    num("l1Nj", e.l1AccessNj);
+    num("l2Nj", e.l2AccessNj);
+    num("memRdNj", e.memReadNj);
+    num("memWrNj", e.memWriteNj);
+    num("histNj", e.histAccessNj);
+    num("memCoreNj", e.memCoreNj);
+    u64("l1Cyc", e.l1Cycles);
+    u64("l2Cyc", e.l2Cycles);
+    u64("memCyc", e.memCycles);
+    u64("histCyc", e.histCycles);
+    num("intAlu", e.intAluNj);
+    num("intMul", e.intMulNj);
+    num("intDiv", e.intDivNj);
+    num("fpAlu", e.fpAluNj);
+    num("fpMul", e.fpMulNj);
+    num("fpDiv", e.fpDivNj);
+    num("branch", e.branchNj);
+    num("jump", e.jumpNj);
+    num("nop", e.nopNj);
+    num("scale", e.nonMemScale);
+    num("ghz", e.frequencyGhz);
+
+    const HierarchyConfig &h = config.hierarchy;
+    u64("l1Size", h.l1.sizeBytes);
+    u64("l1Ways", h.l1.ways);
+    u64("l1Line", h.l1.lineBytes);
+    u64("l2Size", h.l2.sizeBytes);
+    u64("l2Ways", h.l2.ways);
+    u64("l2Line", h.l2.lineBytes);
+
+    const CompilerConfig &c = config.compiler;
+    u64("sliceMaxInstrs", c.builder.maxInstrs);
+    u64("sliceMaxHeight", c.builder.maxHeight);
+    num("liveThresh", c.builder.liveThreshold);
+    num("budgetMargin", c.builder.budgetMargin);
+    num("stability", c.stabilityThreshold);
+    num("matchThresh", c.matchThreshold);
+    u64("minSiteCount", c.minSiteCount);
+    num("profitMargin", c.profitabilityMargin);
+    u64("globalModel", c.globalResidenceModel ? 1 : 0);
+    u64("oracleSet", c.oracleSet ? 1 : 0);
+    u64("compileRunLimit", c.runLimit);
+
+    const AmnesicConfig &a = config.amnesic;
+    u64("policy", static_cast<std::uint64_t>(a.policy));
+    u64("sfile", a.sfileCapacity);
+    u64("hist", a.histCapacity);
+    u64("ibuff", a.ibuffCapacity);
+    u64("predLog", a.predictorLogEntries);
+    u64("shadow", a.shadowCheck ? 1 : 0);
+    u64("strict", a.strictMismatch ? 1 : 0);
+    num("decisionScale", a.decisionNonMemScale);
+
+    u64("runLimit", config.runLimit);
+    u64("seed", config.seed);
+    return out;
+}
+
 void
 ExperimentRunner::prepare(BenchmarkResult &result,
                           const Workload &workload,
@@ -82,29 +177,43 @@ ExperimentRunner::prepare(BenchmarkResult &result,
 
     // Three independent jobs: the classic reference run and the two
     // compiles (each compile internally replays the program to profile
-    // and dry-run-validate it). Their outputs land in disjoint fields.
+    // and dry-run-validate it). Their outputs land in disjoint fields —
+    // including the per-task wall-clocks (the two compile timings are
+    // summed only after the barrier).
+    double normal_compile_sec = 0.0;
+    double oracle_compile_sec = 0.0;
     std::vector<std::function<void()>> tasks;
     tasks.push_back([this, &result, &workload] {
+        WallClock::time_point start = WallClock::now();
         result.classic = runClassic(workload.program);
+        result.manifest.phases.classicSec = secondsSince(start);
     });
     if (need_normal)
-        tasks.push_back([this, &result, &workload, compiler_config]() {
+        tasks.push_back([this, &result, &workload, compiler_config,
+                         &normal_compile_sec]() {
+            WallClock::time_point start = WallClock::now();
             CompilerConfig cfg = compiler_config;
             cfg.oracleSet = false;
             AmnesicCompiler compiler(energyModel(), _config.hierarchy,
                                      cfg);
             result.compiled = compiler.compile(workload.program);
+            normal_compile_sec = secondsSince(start);
         });
     if (need_oracle)
-        tasks.push_back([this, &result, &workload, compiler_config]() {
+        tasks.push_back([this, &result, &workload, compiler_config,
+                         &oracle_compile_sec]() {
+            WallClock::time_point start = WallClock::now();
             CompilerConfig cfg = compiler_config;
             cfg.oracleSet = true;
             AmnesicCompiler compiler(energyModel(), _config.hierarchy,
                                      cfg);
             result.oracleCompiled = compiler.compile(workload.program);
+            oracle_compile_sec = secondsSince(start);
         });
     parallelFor(pool, tasks.size(),
                 [&tasks](std::size_t i) { tasks[i](); });
+    result.manifest.phases.compileSec =
+        normal_compile_sec + oracle_compile_sec;
 
     // Pre-simulation analysis gate: every binary about to be simulated
     // must lint clean against the *configured* machine (the compiler's
@@ -140,12 +249,38 @@ PolicyOutcome
 ExperimentRunner::runPolicy(const BenchmarkResult &prepared,
                             Policy policy) const
 {
+    WallClock::time_point start = WallClock::now();
     EnergyModel energy = energyModel();
     const Program &binary = needsOracleSet(policy)
         ? prepared.oracleCompiled.program : prepared.compiled.program;
     PolicyOutcome outcome;
     outcome.policy = policy;
-    outcome.stats = runAmnesic(binary, policy);
+
+    AmnesicConfig amnesic = _config.amnesic;
+    amnesic.policy = policy;
+    AmnesicMachine machine(binary, energy, amnesic, _config.hierarchy);
+
+    // Site attribution always rides along (an aggregation, cheap);
+    // the event tracer only when asked for. Both are passive — the
+    // simulated outcome is identical with or without them, which the
+    // differential harness re-proves on every corpus replay.
+    SiteCollector sites;
+    std::optional<AmnesicTracer> tracer;
+    if (_config.traceEvents) {
+        AmnesicTracer::Options options;
+        options.memory = _config.traceMemory;
+        options.maxRecords = _config.traceMaxRecords;
+        tracer.emplace(options);
+        tracer->attach(machine);  // installs the memory observer half
+    }
+    TeeTraceHooks tee(&sites, tracer ? &*tracer : nullptr);
+    machine.setTraceHooks(&tee);
+
+    machine.run(_config.runLimit);
+    outcome.stats = machine.stats();
+    outcome.sites = sites.sites();
+    if (tracer)
+        outcome.trace = std::move(tracer->buffer());
     outcome.edpGainPct =
         gainPercent(prepared.classic.edp(energy),
                     outcome.stats.edp(energy));
@@ -155,6 +290,7 @@ ExperimentRunner::runPolicy(const BenchmarkResult &prepared,
     outcome.perfGainPct =
         gainPercent(prepared.classic.timeSeconds(energy),
                     outcome.stats.timeSeconds(energy));
+    outcome.wallSec = secondsSince(start);
     return outcome;
 }
 
@@ -165,10 +301,28 @@ ExperimentRunner::run(const Workload &workload) const
                {kAllPolicies, kAllPolicies + std::size(kAllPolicies)});
 }
 
+void
+ExperimentRunner::stampManifest(RunManifest &manifest,
+                                const ThreadPool *pool) const
+{
+    manifest.configDigest =
+        fnv1aDigest(canonicalConfigString(_config));
+    manifest.seed = _config.seed;
+    manifest.jobsRequested = _config.jobs;
+    manifest.jobsEffective = effectiveJobs();
+    if (pool) {
+        ThreadPool::Utilization u = pool->utilization();
+        manifest.pool.jobsExecuted = u.jobsExecuted;
+        manifest.pool.queueWaitSec = u.queueWaitSec;
+        manifest.pool.workerBusySec = u.workerBusySec;
+    }
+}
+
 BenchmarkResult
 ExperimentRunner::run(const Workload &workload,
                       const std::vector<Policy> &policies) const
 {
+    WallClock::time_point start = WallClock::now();
     unsigned jobs = effectiveJobs();
     std::optional<ThreadPool> pool;
     if (jobs > 1)
@@ -182,6 +336,10 @@ ExperimentRunner::run(const Workload &workload,
                 [this, &result, &policies](std::size_t i) {
                     result.policies[i] = runPolicy(result, policies[i]);
                 });
+    for (const PolicyOutcome &outcome : result.policies)
+        result.manifest.phases.simulateSec += outcome.wallSec;
+    result.manifest.phases.totalSec = secondsSince(start);
+    stampManifest(result.manifest, pool ? &*pool : nullptr);
     return result;
 }
 
@@ -189,6 +347,7 @@ std::vector<BenchmarkResult>
 ExperimentRunner::runMany(const std::vector<Workload> &workloads,
                           const std::vector<Policy> &policies) const
 {
+    WallClock::time_point start = WallClock::now();
     unsigned jobs = effectiveJobs();
     if (jobs <= 1) {
         std::vector<BenchmarkResult> results;
@@ -221,6 +380,17 @@ ExperimentRunner::runMany(const std::vector<Workload> &workloads,
                     results[w].policies[p] =
                         runPolicy(results[w], policies[p]);
                 });
+
+    // The pool is shared across the suite, so its utilization (and the
+    // end-to-end wall-clock) describe the whole runMany call: every
+    // manifest carries the same totals, while the per-phase seconds
+    // above are genuinely per-workload.
+    for (BenchmarkResult &result : results) {
+        for (const PolicyOutcome &outcome : result.policies)
+            result.manifest.phases.simulateSec += outcome.wallSec;
+        result.manifest.phases.totalSec = secondsSince(start);
+        stampManifest(result.manifest, &pool);
+    }
     return results;
 }
 

@@ -16,6 +16,9 @@
 #include "core/amnesic_machine.h"
 #include "core/compiler.h"
 #include "core/policy.h"
+#include "obs/manifest.h"
+#include "obs/site_metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 #include "workloads/workload.h"
 
@@ -38,6 +41,21 @@ struct ExperimentConfig
      * order).
      */
     unsigned jobs = 0;
+    /**
+     * Buffer per-policy trace events (obs/trace) into each
+     * PolicyOutcome. Off by default: the machine then pays only a null
+     * check per amnesic opcode and outcomes carry no buffers.
+     */
+    bool traceEvents = false;
+    /** Also record Load/Store events — inflates traces by orders of
+     * magnitude; only meaningful with traceEvents. */
+    bool traceMemory = false;
+    /** Per-policy trace buffer cap (deterministic, count-based). */
+    std::size_t traceMaxRecords = TraceBuffer::kDefaultMaxRecords;
+    /** Workload-generation seed, recorded in the run manifest for
+     * provenance (harnesses that derive workloads from a seed set it;
+     * it does not influence the runner itself). */
+    std::uint64_t seed = 0;
 };
 
 /** One policy's run and its gains over classic execution (§5.1). */
@@ -48,6 +66,13 @@ struct PolicyOutcome
     double edpGainPct = 0.0;     ///< Fig 3
     double energyGainPct = 0.0;  ///< Fig 4
     double perfGainPct = 0.0;    ///< Fig 5
+    /** Per-static-RCMP-site attribution (always collected; ascending
+     * pc; fires/fallbacks reconcile against `stats`). */
+    std::vector<SiteStats> sites;
+    /** Event trace (empty unless ExperimentConfig::traceEvents). */
+    TraceBuffer trace;
+    /** Wall-clock of this policy's simulation (diagnostic only). */
+    double wallSec = 0.0;
 
     /** % of fired recomputations whose data resided at each level —
      * the Table 5 row for this policy. */
@@ -64,6 +89,8 @@ struct BenchmarkResult
     /** Compiler output with the oracle slice set (§5.1). */
     CompileResult oracleCompiled;
     std::vector<PolicyOutcome> policies;
+    /** Provenance + cost of the run that produced this result. */
+    RunManifest manifest;
 
     /** Outcome of one policy (nullptr if it was not run). */
     const PolicyOutcome *byPolicy(Policy policy) const;
@@ -106,7 +133,20 @@ class ExperimentRunner
     /** The worker count `config().jobs` resolves to on this host. */
     unsigned effectiveJobs() const;
 
+    /**
+     * Canonical string over every ExperimentConfig field that affects
+     * simulation content — `jobs` and the trace-buffering knobs are
+     * deliberately excluded (scheduling is content-free by the
+     * determinism contract; tracing is passive by the transparency
+     * contract). The manifest digest is FNV-1a over this string.
+     */
+    static std::string canonicalConfigString(const ExperimentConfig &config);
+
   private:
+    /** Fill the provenance fields (digest, seed, jobs, pool snapshot)
+     * of a finished result's manifest. */
+    void stampManifest(RunManifest &manifest, const ThreadPool *pool) const;
+
     /** Classic run + the compiles the policy list needs. */
     void prepare(BenchmarkResult &result, const Workload &workload,
                  const std::vector<Policy> &policies,

@@ -1,0 +1,184 @@
+#include "report/obs_export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/manifest.h"
+
+namespace amnesiac {
+
+namespace {
+
+std::string
+runName(const BenchmarkResult &result, const PolicyOutcome &outcome)
+{
+    return result.name + "/" + std::string(policyName(outcome.policy));
+}
+
+/** name{workload="...",policy="..."} */
+std::string
+labeled(const char *name, const std::string &workload,
+        std::string_view policy)
+{
+    std::string out = name;
+    out += "{workload=\"";
+    out += workload;
+    out += "\",policy=\"";
+    out += policy;
+    out += "\"}";
+    return out;
+}
+
+}  // namespace
+
+std::vector<TraceTrack>
+traceTracks(const std::vector<BenchmarkResult> &results)
+{
+    std::vector<TraceTrack> tracks;
+    for (const BenchmarkResult &result : results)
+        for (const PolicyOutcome &outcome : result.policies)
+            if (!outcome.trace.empty())
+                tracks.push_back({runName(result, outcome),
+                                  &outcome.trace});
+    return tracks;
+}
+
+std::vector<PhaseSpan>
+phaseSpans(const std::vector<BenchmarkResult> &results)
+{
+    // Durations are real; the layout is synthetic (phases end to end
+    // per workload, workloads end to end) — the viewer track answers
+    // "where does the time go", not "when did it run".
+    std::vector<PhaseSpan> spans;
+    double cursor = 0.0;
+    auto span = [&](const std::string &name, double sec) {
+        if (sec <= 0.0)
+            return;
+        spans.push_back({name, cursor, sec * 1e6});
+        cursor += sec * 1e6;
+    };
+    for (const BenchmarkResult &result : results) {
+        const PhaseTimes &phases = result.manifest.phases;
+        span("classic " + result.name, phases.classicSec);
+        span("compile " + result.name, phases.compileSec);
+        span("simulate " + result.name, phases.simulateSec);
+    }
+    return spans;
+}
+
+std::string
+renderAllSiteReports(const std::vector<BenchmarkResult> &results)
+{
+    std::string out;
+    for (const BenchmarkResult &result : results)
+        for (const PolicyOutcome &outcome : result.policies) {
+            out += renderSiteReport(outcome.sites,
+                                    runName(result, outcome));
+            out += "\n";
+        }
+    return out;
+}
+
+std::string
+renderRunTraceJsonl(const std::vector<BenchmarkResult> &results)
+{
+    std::string out;
+    for (const BenchmarkResult &result : results)
+        for (const PolicyOutcome &outcome : result.policies) {
+            out += "{\"ev\":\"run\",\"workload\":\"" + result.name +
+                   "\",\"policy\":\"" +
+                   std::string(policyName(outcome.policy)) + "\"}\n";
+            out += renderTraceJsonl(outcome.trace);
+            // Only the manifest's deterministic fields ride in the
+            // stream: the whole file must stay byte-identical across
+            // runs and `jobs` values, so the wall-clock half lives in
+            // the separate --manifest artifact.
+            char manifest[80];
+            std::snprintf(manifest, sizeof(manifest),
+                          "{\"ev\":\"manifest\",\"configDigest\":"
+                          "\"%016" PRIx64 "\",\"seed\":%" PRIu64 "}\n",
+                          result.manifest.configDigest,
+                          result.manifest.seed);
+            out += manifest;
+        }
+    return out;
+}
+
+void
+fillMetrics(MetricsRegistry &metrics,
+            const std::vector<BenchmarkResult> &results)
+{
+    for (const BenchmarkResult &result : results) {
+        const std::string &w = result.name;
+        metrics.counterAdd(
+            labeled("amnesiac_instructions_total", w, "classic"),
+            static_cast<double>(result.classic.dynInstrs));
+        metrics.gaugeSet(labeled("amnesiac_energy_nj", w, "classic"),
+                         result.classic.energyNj());
+
+        for (const PolicyOutcome &o : result.policies) {
+            std::string_view p = policyName(o.policy);
+            const SimStats &s = o.stats;
+            metrics.counterAdd(
+                labeled("amnesiac_instructions_total", w, p),
+                static_cast<double>(s.dynInstrs));
+            metrics.counterAdd(
+                labeled("amnesiac_recomputations_total", w, p),
+                static_cast<double>(s.recomputations));
+            metrics.counterAdd(
+                labeled("amnesiac_fallback_loads_total", w, p),
+                static_cast<double>(s.fallbackLoads));
+            metrics.counterAdd(
+                labeled("amnesiac_hist_overflows_total", w, p),
+                static_cast<double>(s.histOverflows));
+            metrics.counterAdd(
+                labeled("amnesiac_hist_miss_fallbacks_total", w, p),
+                static_cast<double>(s.histMissFallbacks));
+            metrics.counterAdd(
+                labeled("amnesiac_sfile_aborts_total", w, p),
+                static_cast<double>(s.sfileAborts));
+            metrics.counterAdd(
+                labeled("amnesiac_shadow_mismatches_total", w, p),
+                static_cast<double>(s.recomputeMismatches));
+            metrics.gaugeSet(labeled("amnesiac_energy_nj", w, p),
+                             s.energyNj());
+            metrics.gaugeSet(labeled("amnesiac_edp_gain_pct", w, p),
+                             o.edpGainPct);
+            metrics.gaugeSet(labeled("amnesiac_energy_gain_pct", w, p),
+                             o.energyGainPct);
+            metrics.gaugeSet(labeled("amnesiac_time_gain_pct", w, p),
+                             o.perfGainPct);
+            // Fig 6 as a live metric: mean slice instructions per
+            // instance, one observation per active site.
+            for (const SiteStats &site : o.sites)
+                if (site.instances())
+                    metrics.histogramObserve(
+                        labeled("amnesiac_site_slice_instrs", w, p),
+                        static_cast<double>(site.sliceInstrs) /
+                            static_cast<double>(site.instances()),
+                        4.0, 32);
+        }
+
+        // Manifest-derived gauges: wall clock, explicitly diagnostic.
+        const RunManifest &m = result.manifest;
+        auto phase = [&](const char *name, double sec) {
+            metrics.gaugeSet("amnesiac_phase_seconds{workload=\"" + w +
+                                 "\",phase=\"" + name + "\"}",
+                             sec);
+        };
+        phase("classic", m.phases.classicSec);
+        phase("compile", m.phases.compileSec);
+        phase("simulate", m.phases.simulateSec);
+        phase("total", m.phases.totalSec);
+        metrics.gaugeSet("amnesiac_jobs_effective{workload=\"" + w + "\"}",
+                         m.jobsEffective);
+        metrics.gaugeSet("amnesiac_pool_jobs_executed",
+                         static_cast<double>(m.pool.jobsExecuted));
+        metrics.gaugeSet("amnesiac_pool_queue_wait_seconds",
+                         m.pool.queueWaitSec);
+        metrics.gaugeSet("amnesiac_pool_worker_busy_seconds",
+                         m.pool.workerBusySec);
+    }
+}
+
+}  // namespace amnesiac

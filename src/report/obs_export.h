@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Bridges BenchmarkResult to the observability exporters (src/obs):
+ * builds the Chrome-trace track list and pipeline-phase spans, renders
+ * the concatenated per-policy site reports and JSONL event streams,
+ * and fills a MetricsRegistry with the counters/gauges/histograms
+ * every harness exports identically. Lives in src/report (not src/obs)
+ * because it knows the result schema; src/obs stays below the
+ * pipeline.
+ *
+ * Everything here is deterministic except the wall-clock inputs
+ * (phase spans, pool gauges), which come from the run manifest and are
+ * explicitly diagnostic.
+ */
+
+#ifndef AMNESIAC_REPORT_OBS_EXPORT_H
+#define AMNESIAC_REPORT_OBS_EXPORT_H
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "report/experiment.h"
+
+namespace amnesiac {
+
+/** One Chrome-trace track per (workload, policy) run with a non-empty
+ * buffer, named "workload/policy". Tracks hold pointers into
+ * `results`, which must outlive any render of them. */
+std::vector<TraceTrack> traceTracks(
+    const std::vector<BenchmarkResult> &results);
+
+/** Wall-clock pipeline-phase spans (classic/compile/simulate per
+ * workload) from the run manifests, laid out end to end for the
+ * trace viewer's tid-0 track. */
+std::vector<PhaseSpan> phaseSpans(
+    const std::vector<BenchmarkResult> &results);
+
+/** Every (workload, policy) site report concatenated, each titled
+ * "workload/policy", in result order. */
+std::string renderAllSiteReports(
+    const std::vector<BenchmarkResult> &results);
+
+/** Every (workload, policy) event stream as JSONL, each prefixed by a
+ * {"ev":"run","workload":...,"policy":...} header line and followed by
+ * a {"ev":"manifest",...} line, in result order. The manifest line
+ * carries only the deterministic fields (config digest, seed) so the
+ * whole stream stays byte-identical across runs and `jobs` values. */
+std::string renderRunTraceJsonl(
+    const std::vector<BenchmarkResult> &results);
+
+/**
+ * Record the standard metric set for the given results:
+ * per-(workload, policy) counters (recomputations, fallbacks, Hist
+ * pressure, SFile aborts, shadow mismatches), gain/energy gauges, a
+ * slice-length histogram over fired sites, and the manifest's phase /
+ * pool wall-clock gauges. Labels are baked into names,
+ * Prometheus-style: amnesiac_energy_nj{workload="sr",policy="FLC"}.
+ */
+void fillMetrics(MetricsRegistry &metrics,
+                 const std::vector<BenchmarkResult> &results);
+
+}  // namespace amnesiac
+
+#endif  // AMNESIAC_REPORT_OBS_EXPORT_H

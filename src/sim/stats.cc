@@ -45,6 +45,15 @@ SimStats::summary(const EnergyModel &model) const
                       static_cast<unsigned long long>(recomputeMismatches),
                       static_cast<unsigned long long>(recomputeChecked));
         os << line;
+        std::snprintf(line, sizeof(line),
+                      "  hist: %llu reads, %llu writes, %llu overflows; "
+                      "%llu hist-miss fallbacks, %llu sfile aborts\n",
+                      static_cast<unsigned long long>(histReads),
+                      static_cast<unsigned long long>(histWrites),
+                      static_cast<unsigned long long>(histOverflows),
+                      static_cast<unsigned long long>(histMissFallbacks),
+                      static_cast<unsigned long long>(sfileAborts));
+        os << line;
     }
     return os.str();
 }

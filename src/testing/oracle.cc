@@ -213,7 +213,7 @@ DifferentialReport::render() const
 }
 
 DifferentialReport
-runDifferential(const GenCase &test_case)
+runDifferential(const GenCase &test_case, AmnesicTraceHooks *trace)
 {
     DifferentialReport report;
     report.label = test_case.label();
@@ -274,6 +274,7 @@ runDifferential(const GenCase &test_case)
             needsOracleSet(policy) ? oracle.program : prob.program;
         AmnesicMachine machine(binary, energy, config,
                                test_case.hierarchy);
+        machine.setTraceHooks(trace);
 
         FaultInjector injector(
             test_case.faults,

@@ -89,8 +89,13 @@ struct DifferentialReport
  * the binaries, then executes classic + every requested policy,
  * attaching a fresh FaultInjector per amnesic run when the case plans
  * faults. Deterministic: same case, same report, byte for byte.
+ *
+ * `trace` (optional) is attached to every amnesic machine, which lets
+ * tests prove the tracer's transparency: the report must be identical
+ * with and without one (src/obs rides the same AmnesicTraceHooks).
  */
-DifferentialReport runDifferential(const GenCase &test_case);
+DifferentialReport runDifferential(const GenCase &test_case,
+                                   AmnesicTraceHooks *trace = nullptr);
 
 }  // namespace amnesiac
 

@@ -8,6 +8,12 @@
  *            (bad configuration, malformed program); exits with code 1.
  * warn()   — something is questionable but the run can continue.
  * inform() — plain status output.
+ * debug()  — developer diagnostics; compiled in but silent unless the
+ *            AMNESIAC_LOG environment variable names a level at or
+ *            below Debug (e.g. AMNESIAC_LOG=debug).
+ *
+ * All emission is serialized by a mutex, so messages from the
+ * experiment pipeline's worker threads never interleave mid-line.
  */
 
 #ifndef AMNESIAC_UTIL_LOGGING_H
@@ -18,8 +24,8 @@
 
 namespace amnesiac {
 
-/** Severity classes understood by detail::emit(). */
-enum class LogLevel { Inform, Warn, Fatal, Panic };
+/** Severity classes understood by detail::emit(), least severe first. */
+enum class LogLevel { Debug, Inform, Warn, Fatal, Panic };
 
 namespace detail {
 
@@ -35,6 +41,14 @@ void inform(const std::string &msg);
 
 /** Print a warning to stderr. */
 void warn(const std::string &msg);
+
+/** Print a developer-diagnostic message to stderr; dropped unless
+ * AMNESIAC_LOG enables the Debug level. */
+void debug(const std::string &msg);
+
+/** True when `level` passes the AMNESIAC_LOG threshold (read once,
+ * at first use; defaults to Inform). */
+bool logEnabled(LogLevel level);
 
 /** Abort with an internal-bug message. */
 #define AMNESIAC_PANIC(msg)                                                 \

@@ -34,10 +34,17 @@ ThreadPool::submit(std::function<void()> task)
 {
     {
         std::lock_guard<std::mutex> lock(_mutex);
-        _queue.push_back(std::move(task));
+        _queue.emplace_back(std::move(task), Clock::now());
         ++_pending;
     }
     _wakeWorker.notify_one();
+}
+
+ThreadPool::Utilization
+ThreadPool::utilization() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _utilization;
 }
 
 void
@@ -52,18 +59,26 @@ ThreadPool::workerLoop()
 {
     for (;;) {
         std::function<void()> task;
+        Clock::time_point start;
         {
             std::unique_lock<std::mutex> lock(_mutex);
             _wakeWorker.wait(lock,
                              [this] { return _stop || !_queue.empty(); });
             if (_queue.empty())
                 return;  // _stop and fully drained
-            task = std::move(_queue.front());
+            start = Clock::now();
+            task = std::move(_queue.front().first);
+            _utilization.queueWaitSec +=
+                std::chrono::duration<double>(start - _queue.front().second)
+                    .count();
             _queue.pop_front();
         }
         task();
         {
             std::lock_guard<std::mutex> lock(_mutex);
+            _utilization.workerBusySec +=
+                std::chrono::duration<double>(Clock::now() - start).count();
+            ++_utilization.jobsExecuted;
             if (--_pending == 0)
                 _idle.notify_all();
         }

@@ -13,12 +13,15 @@
 #ifndef AMNESIAC_UTIL_THREAD_POOL_H
 #define AMNESIAC_UTIL_THREAD_POOL_H
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace amnesiac {
@@ -53,20 +56,36 @@ class ThreadPool
         return static_cast<unsigned>(_workers.size());
     }
 
+    /** Utilization counters over the pool's lifetime (run manifests).
+     * Wall-clock based — diagnostic only, never part of results. */
+    struct Utilization
+    {
+        std::uint64_t jobsExecuted = 0;
+        double queueWaitSec = 0.0;   ///< summed submit → start latency
+        double workerBusySec = 0.0;  ///< summed task execution time
+    };
+
+    /** Snapshot the utilization counters (thread-safe; call at idle
+     * for totals that cover every submitted task). */
+    Utilization utilization() const;
+
     /** The worker count a `0` request resolves to on this host. */
     static unsigned defaultThreadCount();
 
   private:
     void workerLoop();
 
+    using Clock = std::chrono::steady_clock;
+
     std::vector<std::thread> _workers;
-    std::deque<std::function<void()>> _queue;
-    std::mutex _mutex;
+    std::deque<std::pair<std::function<void()>, Clock::time_point>> _queue;
+    mutable std::mutex _mutex;
     std::condition_variable _wakeWorker;  ///< queue became non-empty / stop
     std::condition_variable _idle;        ///< pending count hit zero
     /** Queued + currently-running tasks. */
     std::size_t _pending = 0;
     bool _stop = false;
+    Utilization _utilization;  ///< guarded by _mutex
 };
 
 /**

@@ -14,6 +14,7 @@
 #include <sstream>
 
 #include "analysis/analyzer.h"
+#include "obs/trace.h"
 #include "testing/generator.h"
 #include "testing/minimize.h"
 #include "testing/oracle.h"
@@ -249,6 +250,40 @@ TEST(Corpus, SeedCasesReplayCleanly)
         ++replayed;
     }
     EXPECT_GE(replayed, 5u);
+}
+
+TEST(Corpus, TracerIsTransparentOnSeedCases)
+{
+    // The observability layer's transparency claim, proven by the
+    // strongest oracle in the repo: replay every corpus case with an
+    // AmnesicTracer attached to every amnesic machine and demand the
+    // *entire* differential report — stats, verdicts, divergence
+    // details — render byte-identical to the untraced replay. Any
+    // tracer callback that perturbed machine state would surface here.
+    std::filesystem::path dir(AMNESIAC_CORPUS_DIR);
+    ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+    std::size_t captured_events = 0;
+    for (const auto &entry : std::filesystem::directory_iterator(dir)) {
+        if (entry.path().extension() != ".json")
+            continue;
+        SCOPED_TRACE(entry.path().filename().string());
+        std::ifstream in(entry.path());
+        std::ostringstream text;
+        text << in.rdbuf();
+
+        GenCase c;
+        std::string error;
+        ASSERT_TRUE(parseRepro(text.str(), c, error)) << error;
+
+        AmnesicTracer tracer;
+        DifferentialReport plain = runDifferential(c);
+        DifferentialReport traced = runDifferential(c, &tracer);
+        EXPECT_EQ(plain.render(), traced.render());
+        captured_events += tracer.buffer().size();
+    }
+    // Not vacuous: the corpus exercises the amnesic opcodes, so the
+    // tracer must have seen real events.
+    EXPECT_GT(captured_events, 0u);
 }
 
 }  // namespace

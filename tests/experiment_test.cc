@@ -9,13 +9,18 @@
  *      bit-invisible;
  *  (b) ExperimentRunner::run / runMany produce identical
  *      BenchmarkResult stats with jobs=1 and jobs=4 — the determinism
- *      guarantee of the (workload × policy) fan-out.
+ *      guarantee of the (workload × policy) fan-out. The same check
+ *      covers the observability artifacts: site tables, trace buffers,
+ *      and the manifest's deterministic prefix.
  */
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "report/experiment.h"
 #include "report/figures.h"
+#include "report/obs_export.h"
 #include "workloads/registry.h"
 
 namespace amnesiac {
@@ -51,6 +56,39 @@ expectStatsIdentical(const SimStats &a, const SimStats &b)
 }
 
 void
+expectSitesIdentical(const std::vector<SiteStats> &a,
+                     const std::vector<SiteStats> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].pc, b[i].pc);
+        EXPECT_EQ(a[i].sliceId, b[i].sliceId);
+        EXPECT_EQ(a[i].fires, b[i].fires);
+        EXPECT_EQ(a[i].fallbacks, b[i].fallbacks);
+        EXPECT_EQ(a[i].histMissAborts, b[i].histMissAborts);
+        EXPECT_EQ(a[i].sfileAborts, b[i].sfileAborts);
+        EXPECT_EQ(a[i].mispredicts, b[i].mispredicts);
+        EXPECT_EQ(a[i].sliceInstrs, b[i].sliceInstrs);
+        EXPECT_EQ(a[i].estDeltaNj, b[i].estDeltaNj);
+        EXPECT_EQ(a[i].realDeltaNj, b[i].realDeltaNj);
+    }
+}
+
+void
+expectTracesIdentical(const TraceBuffer &a, const TraceBuffer &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.dropped(), b.dropped());
+    if (a.empty())
+        return;
+    // TraceRecord is a packed POD of integers (doubles ride bit_cast
+    // through `b`), so bytewise equality is the exact contract.
+    EXPECT_EQ(std::memcmp(a.records().data(), b.records().data(),
+                          a.size() * sizeof(TraceRecord)),
+              0);
+}
+
+void
 expectResultsIdentical(const BenchmarkResult &a, const BenchmarkResult &b)
 {
     EXPECT_EQ(a.name, b.name);
@@ -65,7 +103,13 @@ expectResultsIdentical(const BenchmarkResult &a, const BenchmarkResult &b)
         EXPECT_EQ(a.policies[i].edpGainPct, b.policies[i].edpGainPct);
         EXPECT_EQ(a.policies[i].energyGainPct, b.policies[i].energyGainPct);
         EXPECT_EQ(a.policies[i].perfGainPct, b.policies[i].perfGainPct);
+        expectSitesIdentical(a.policies[i].sites, b.policies[i].sites);
+        expectTracesIdentical(a.policies[i].trace, b.policies[i].trace);
     }
+    // Provenance: same content config → same digest and seed; only the
+    // scheduling fields and wall-clocks may differ between the two runs.
+    EXPECT_EQ(a.manifest.configDigest, b.manifest.configDigest);
+    EXPECT_EQ(a.manifest.seed, b.manifest.seed);
 }
 
 // Golden classic-execution snapshot, captured from the pre-refactor
@@ -176,6 +220,16 @@ TEST(ExperimentTest, FullRegistryReportsAreByteIdenticalAcrossJobs)
         out += renderGainFigure(results, GainMetric::Time);
         out += renderTable4(results);
         out += renderTable5(results);
+        // The observability artifacts obey the same contract: site
+        // reports and the manifest's deterministic prefix (digest,
+        // seed, jobsRequested is excluded by construction) must not
+        // move with the worker count.
+        out += renderAllSiteReports(results);
+        for (const BenchmarkResult &result : results) {
+            std::string manifest = renderManifestJson(result.manifest);
+            out += manifest.substr(0, manifest.find("\"jobsRequested\""));
+            out += '\n';
+        }
         return out;
     };
 
@@ -196,14 +250,17 @@ TEST(ExperimentTest, FullRegistryReportsAreByteIdenticalAcrossJobs)
 TEST(ExperimentTest, RepeatedParallelRunsAreStable)
 {
     // Rerunning the same parallel configuration must be a fixed point:
-    // no run-to-run scheduling effect may leak into the stats.
+    // no run-to-run scheduling effect may leak into the stats. Tracing
+    // is on so the record-for-record trace comparison is non-vacuous.
     Workload workload = makeWorkload("stream-recompute", 7);
     ExperimentConfig config;
     config.jobs = 4;
+    config.traceEvents = true;
     ExperimentRunner runner(config);
     BenchmarkResult first = runner.run(workload);
     BenchmarkResult second = runner.run(workload);
     expectResultsIdentical(first, second);
+    EXPECT_FALSE(first.policies.front().trace.empty());
 }
 
 }  // namespace

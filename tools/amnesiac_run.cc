@@ -15,9 +15,15 @@
  *   --sfile <n>            SFile capacity (default 192)
  *   --per-site-model       use the exact per-site Eld model instead of
  *                          the paper's global §3.1.1 model
+ *   --trace <path>         write a Chrome/Perfetto trace of the run
+ *   --site-report <path>   write the ranked per-RCMP-site report
+ *   --metrics <path>       write Prometheus metrics for the run
+ *   --max-records <n>      per-policy trace buffer cap
  *   --csv                  machine-readable output
  *   --save <path>          write the compiled amnesic binary and exit
  *   --disasm               dump the rewritten binary and exit
+ *
+ * Every value flag accepts both `--flag value` and `--flag=value`.
  */
 
 #include <cstdio>
@@ -26,8 +32,10 @@
 #include <optional>
 #include <string>
 
+#include "bench/common.h"
 #include "isa/disasm.h"
 #include "isa/serialize.h"
+#include "obs/manifest.h"
 #include "report/experiment.h"
 #include "util/table.h"
 #include "workloads/registry.h"
@@ -52,8 +60,10 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--list] [--policy <p>] [--seed <n>] "
                  "[--jobs <n>] [--scale <x>] [--hist <n>] "
-                 "[--sfile <n>] [--per-site-model] [--csv] [--disasm] "
-                 "[--save <path>] <workload>\n",
+                 "[--sfile <n>] [--per-site-model] [--trace <path>] "
+                 "[--site-report <path>] [--metrics <path>] "
+                 "[--max-records <n>] [--csv] "
+                 "[--disasm] [--save <path>] <workload>\n",
                  argv0);
     std::exit(2);
 }
@@ -65,15 +75,26 @@ main(int argc, char **argv)
 {
     std::string workload_name;
     std::string policy_arg = "all";
-    std::uint64_t seed = 1;
-    ExperimentConfig config;
+    bench::BenchArgs args;
+    ExperimentConfig &config = args.config;
     bool csv = false;
     bool disasm = false;
     std::string save_path;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        auto next = [&]() -> const char * {
+        std::string inline_value;
+        bool has_value = false;
+        if (arg.size() >= 2 && arg[0] == '-') {
+            if (auto eq = arg.find('='); eq != std::string::npos) {
+                inline_value = arg.substr(eq + 1);
+                arg.resize(eq);
+                has_value = true;
+            }
+        }
+        auto next = [&]() -> std::string {
+            if (has_value)
+                return inline_value;
             if (i + 1 >= argc)
                 usage(argv[0]);
             return argv[++i];
@@ -85,20 +106,29 @@ main(int argc, char **argv)
         } else if (arg == "--policy") {
             policy_arg = next();
         } else if (arg == "--seed") {
-            seed = std::strtoull(next(), nullptr, 10);
+            args.seed = std::strtoull(next().c_str(), nullptr, 10);
         } else if (arg == "--jobs") {
             config.jobs = static_cast<unsigned>(
-                std::strtoul(next(), nullptr, 10));
+                std::strtoul(next().c_str(), nullptr, 10));
         } else if (arg == "--scale") {
-            config.energy.nonMemScale = std::strtod(next(), nullptr);
+            config.energy.nonMemScale = std::strtod(next().c_str(), nullptr);
         } else if (arg == "--hist") {
             config.amnesic.histCapacity = static_cast<std::uint32_t>(
-                std::strtoul(next(), nullptr, 10));
+                std::strtoul(next().c_str(), nullptr, 10));
         } else if (arg == "--sfile") {
             config.amnesic.sfileCapacity = static_cast<std::uint32_t>(
-                std::strtoul(next(), nullptr, 10));
+                std::strtoul(next().c_str(), nullptr, 10));
         } else if (arg == "--per-site-model") {
             config.compiler.globalResidenceModel = false;
+        } else if (arg == "--trace") {
+            args.tracePath = next();
+        } else if (arg == "--site-report") {
+            args.siteReportPath = next();
+        } else if (arg == "--metrics") {
+            args.metricsPath = next();
+        } else if (arg == "--max-records") {
+            config.traceMaxRecords =
+                std::strtoull(next().c_str(), nullptr, 10);
         } else if (arg == "--save") {
             save_path = next();
         } else if (arg == "--csv") {
@@ -118,8 +148,10 @@ main(int argc, char **argv)
                      workload_name.c_str());
         return 2;
     }
+    config.traceEvents = !args.tracePath.empty();
+    config.seed = args.seed;
 
-    Workload workload = makeWorkload(workload_name, seed);
+    Workload workload = makeWorkload(workload_name, args.seed);
     ExperimentRunner runner(config);
 
     if (disasm || !save_path.empty()) {
@@ -150,6 +182,7 @@ main(int argc, char **argv)
 
     BenchmarkResult result = runner.run(workload, policies);
     EnergyModel energy = runner.energyModel();
+    bench::writeObsArtifacts(args, {result});
 
     Table table({"policy", "EDP gain %", "energy gain %", "time gain %",
                  "recomputations", "fallbacks", "mismatches"});
@@ -169,15 +202,17 @@ main(int argc, char **argv)
         return 0;
     }
     std::printf("workload: %s (seed %llu) — %s\n", workload.name.c_str(),
-                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(args.seed),
                 workload.description.c_str());
     std::printf("classic: %llu instrs, %.2f uJ, EDP %.4g J*s\n",
                 static_cast<unsigned long long>(result.classic.dynInstrs),
                 result.classic.energyNj() * 1e-3,
                 result.classic.edp(energy));
-    std::printf("slices: %zu selected (oracle set: %zu)\n\n",
+    std::printf("slices: %zu selected (oracle set: %zu)\n",
                 result.compiled.slices.size(),
                 result.oracleCompiled.slices.size());
+    std::printf("manifest: %s\n\n",
+                renderManifestJson(result.manifest).c_str());
     std::printf("%s", table.render().c_str());
     return 0;
 }

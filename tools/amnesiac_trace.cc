@@ -1,0 +1,192 @@
+/**
+ * @file
+ * amnesiac-trace: run one workload with full event tracing and render
+ * the observability artifacts — the per-site attribution report, the
+ * JSONL event stream, a Chrome/Perfetto trace, Prometheus metrics,
+ * and the run manifest.
+ *
+ *   amnesiac-trace [options] <workload>
+ *
+ *   --policy <name>        Compiler|FLC|LLC|C-Oracle|Oracle|Predictor|all
+ *                          (default: FLC)
+ *   --seed <n>             workload seed (default 1)
+ *   --jobs <n>             pipeline worker threads (default 0 = hw)
+ *   --scale <x>            non-memory EPI scale (§5.5 R knob)
+ *   --hist <n>             Hist capacity
+ *   --sfile <n>            SFile capacity
+ *   --jsonl <path>         write the JSONL event stream ('-' = stdout)
+ *   --chrome <path>        write Chrome trace-event JSON
+ *   --site-report <path>   write the ranked site report ('-' = stdout)
+ *   --metrics <path>       write Prometheus metrics
+ *   --manifest <path>      write the run manifest JSON ('-' = stdout)
+ *   --memory               also trace every load/store (large!)
+ *   --max-records <n>      per-policy trace buffer cap
+ *
+ * With no output flags the site report prints to stdout. Every value
+ * flag accepts both `--flag value` and `--flag=value`. The event
+ * streams and site reports are deterministic: same (workload, policy,
+ * config, seed) → byte-identical artifacts, independent of --jobs.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "obs/manifest.h"
+#include "report/obs_export.h"
+#include "workloads/registry.h"
+
+namespace {
+
+using namespace amnesiac;
+
+std::optional<Policy>
+parsePolicy(const std::string &name)
+{
+    for (Policy policy : {Policy::Oracle, Policy::COracle, Policy::Compiler,
+                          Policy::FLC, Policy::LLC, Policy::Predictor})
+        if (name == policyName(policy))
+            return policy;
+    return std::nullopt;
+}
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--policy <p>] [--seed <n>] [--jobs <n>] "
+                 "[--scale <x>] [--hist <n>] [--sfile <n>] "
+                 "[--jsonl <path>] [--chrome <path>] "
+                 "[--site-report <path>] [--metrics <path>] "
+                 "[--manifest <path>] [--memory] [--max-records <n>] "
+                 "<workload>\n",
+                 argv0);
+    std::exit(2);
+}
+
+/** Write to a file, or stdout for '-'. */
+void
+emit(const std::string &path, const std::string &content)
+{
+    if (path == "-") {
+        std::fwrite(content.data(), 1, content.size(), stdout);
+        return;
+    }
+    amnesiac::bench::writeArtifact(path, content);
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload_name;
+    std::string policy_arg = "FLC";
+    std::uint64_t seed = 1;
+    ExperimentConfig config;
+    std::string jsonl_path, chrome_path, site_path, metrics_path,
+        manifest_path;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::string inline_value;
+        bool has_value = false;
+        if (arg.size() >= 2 && arg[0] == '-' && arg != "-") {
+            if (auto eq = arg.find('='); eq != std::string::npos) {
+                inline_value = arg.substr(eq + 1);
+                arg.resize(eq);
+                has_value = true;
+            }
+        }
+        auto next = [&]() -> std::string {
+            if (has_value)
+                return inline_value;
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--policy") {
+            policy_arg = next();
+        } else if (arg == "--seed") {
+            seed = std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--jobs") {
+            config.jobs = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--scale") {
+            config.energy.nonMemScale = std::strtod(next().c_str(), nullptr);
+        } else if (arg == "--hist") {
+            config.amnesic.histCapacity = static_cast<std::uint32_t>(
+                std::strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--sfile") {
+            config.amnesic.sfileCapacity = static_cast<std::uint32_t>(
+                std::strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--jsonl") {
+            jsonl_path = next();
+        } else if (arg == "--chrome") {
+            chrome_path = next();
+        } else if (arg == "--site-report") {
+            site_path = next();
+        } else if (arg == "--metrics") {
+            metrics_path = next();
+        } else if (arg == "--manifest") {
+            manifest_path = next();
+        } else if (arg == "--memory") {
+            config.traceMemory = true;
+        } else if (arg == "--max-records") {
+            config.traceMaxRecords =
+                std::strtoull(next().c_str(), nullptr, 10);
+        } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+            usage(argv[0]);
+        } else {
+            workload_name = arg;
+        }
+    }
+    if (workload_name.empty())
+        usage(argv[0]);
+    if (!isRegisteredWorkload(workload_name)) {
+        std::fprintf(stderr, "unknown workload '%s'\n",
+                     workload_name.c_str());
+        return 2;
+    }
+    if (site_path.empty() && jsonl_path.empty() && chrome_path.empty() &&
+        metrics_path.empty() && manifest_path.empty())
+        site_path.assign(1, '-');  // default artifact
+                                   // (assign: GCC 12 -Wrestrict FP)
+
+    std::vector<Policy> policies;
+    if (policy_arg == "all") {
+        policies.assign(kAllPolicies,
+                        kAllPolicies + std::size(kAllPolicies));
+    } else if (auto policy = parsePolicy(policy_arg)) {
+        policies.push_back(*policy);
+    } else {
+        std::fprintf(stderr, "unknown policy '%s'\n", policy_arg.c_str());
+        return 2;
+    }
+
+    config.traceEvents = !jsonl_path.empty() || !chrome_path.empty();
+    config.seed = seed;
+    Workload workload = makeWorkload(workload_name, seed);
+    ExperimentRunner runner(config);
+    std::vector<BenchmarkResult> results = {runner.run(workload, policies)};
+
+    if (!site_path.empty())
+        emit(site_path, renderAllSiteReports(results));
+    if (!jsonl_path.empty())
+        emit(jsonl_path, renderRunTraceJsonl(results));
+    if (!chrome_path.empty())
+        emit(chrome_path,
+             renderChromeTrace(traceTracks(results), phaseSpans(results)));
+    if (!metrics_path.empty()) {
+        MetricsRegistry metrics;
+        fillMetrics(metrics, results);
+        emit(metrics_path, metrics.renderPrometheus());
+    }
+    if (!manifest_path.empty())
+        emit(manifest_path,
+             renderManifestJson(results.front().manifest) + "\n");
+    return 0;
+}
