@@ -153,7 +153,7 @@ BM_TreeSignature(benchmark::State &state)
     for (std::uint32_t pc = 1; pc <= 64; ++pc)
         tracker.onAlu(pc, chain, pc);
     for (auto _ : state)
-        benchmark::DoNotOptimize(treeSignature(tracker.regProducer(1)));
+        benchmark::DoNotOptimize(treeSignature(tracker, tracker.regProducer(1)));
 }
 BENCHMARK(BM_TreeSignature);
 

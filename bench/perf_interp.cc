@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Simulator-throughput microbenchmark: times the three hot phases of
+ * the pipeline — classic interpretation, amnesic interpretation, and
+ * the profiling pass — over the workload registry and emits a
+ * machine-readable BENCH_interp.json so the simulator's own performance
+ * is tracked across PRs (the paper's 33-benchmark sweeps are only as
+ * affordable as this interpreter is fast).
+ *
+ * Methodology: each phase is run `--repeats` times on a freshly
+ * constructed machine and the *best* wall-clock is reported (minimum =
+ * least-noise estimator for a deterministic, allocation-stable loop).
+ * Compilation is untimed here; its cost is visible through the
+ * RunManifest phase times (also included per workload).
+ *
+ *   perf_interp [--quick] [--repeats <n>] [--out <path>] [--policy <p>]
+ *
+ * Exit status is 0 unless a simulation crashes — the CI perf-smoke job
+ * gates only on "runs and emits valid JSON", never on thresholds (perf
+ * numbers are tracked as artifacts, not asserted, to keep CI unflaky).
+ */
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/amnesic_machine.h"
+#include "core/compiler.h"
+#include "obs/manifest.h"
+#include "profile/profiler.h"
+#include "report/experiment.h"
+#include "sim/machine.h"
+#include "workloads/registry.h"
+
+namespace {
+
+using amnesiac::AmnesicCompiler;
+using amnesiac::AmnesicConfig;
+using amnesiac::AmnesicMachine;
+using amnesiac::CompileResult;
+using amnesiac::EnergyModel;
+using amnesiac::ExperimentConfig;
+using amnesiac::ExperimentRunner;
+using amnesiac::HierarchyConfig;
+using amnesiac::Machine;
+using amnesiac::Policy;
+using amnesiac::Profiler;
+using amnesiac::Workload;
+
+using WallClock = std::chrono::steady_clock;
+
+std::optional<Policy>
+parsePolicy(const std::string &name)
+{
+    for (Policy p : {Policy::Compiler, Policy::FLC, Policy::LLC,
+                     Policy::COracle, Policy::Oracle, Policy::Predictor})
+        if (name == amnesiac::policyName(p))
+            return p;
+    return std::nullopt;
+}
+
+double
+secondsSince(WallClock::time_point start)
+{
+    return std::chrono::duration<double>(WallClock::now() - start).count();
+}
+
+/** One timed phase: dynamic work done and the best-of-N wall-clock. */
+struct PhaseResult
+{
+    std::uint64_t instrs = 0;
+    double bestSec = 0.0;
+
+    double nsPerInstr() const
+    {
+        return instrs == 0 ? 0.0 : bestSec * 1e9 / static_cast<double>(instrs);
+    }
+    double instrsPerSec() const
+    {
+        return bestSec <= 0.0 ? 0.0
+                              : static_cast<double>(instrs) / bestSec;
+    }
+};
+
+struct WorkloadResult
+{
+    std::string name;
+    PhaseResult classic;
+    PhaseResult amnesic;
+    PhaseResult profile;
+    std::uint64_t productions = 0;  ///< profiling-phase producer nodes
+    std::string manifestJson;       ///< RunManifest of one pipeline run
+};
+
+void
+appendPhaseJson(std::string &out, const char *key, const PhaseResult &p)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "\"%s\":{\"instrs\":%" PRIu64
+                  ",\"bestSec\":%.9f,\"nsPerInstr\":%.4f,"
+                  "\"instrsPerSec\":%.1f}",
+                  key, p.instrs, p.bestSec, p.nsPerInstr(),
+                  p.instrsPerSec());
+    out += buf;
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    int repeats = 3;
+    std::string out_path = "BENCH_interp.json";
+    Policy policy = Policy::FLC;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: missing value for %s\n", argv[0],
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--repeats") {
+            repeats = std::atoi(next().c_str());
+            if (repeats < 1)
+                repeats = 1;
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--policy") {
+            auto parsed = parsePolicy(next());
+            if (!parsed) {
+                std::fprintf(stderr, "%s: unknown policy\n", argv[0]);
+                return 2;
+            }
+            policy = *parsed;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--quick] [--repeats <n>] "
+                         "[--out <path>] [--policy <p>]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    ExperimentConfig config;
+    config.jobs = 1;  // phase timings must not contend with each other
+    EnergyModel energy(config.energy);
+    const HierarchyConfig &hierarchy = config.hierarchy;
+
+    std::vector<std::string> names = quick
+        ? std::vector<std::string>{"mcf", "is", "bfs"}
+        : amnesiac::registeredWorkloads();
+
+    std::vector<WorkloadResult> results;
+    for (const std::string &name : names) {
+        std::fprintf(stderr, "  [perf] %s...\n", name.c_str());
+        Workload workload = amnesiac::makeWorkload(name, 1);
+        WorkloadResult r;
+        r.name = name;
+
+        // --- classic interpretation (no observer: the fast path) ---
+        for (int rep = 0; rep < repeats; ++rep) {
+            Machine machine(workload.program, energy, hierarchy);
+            WallClock::time_point t0 = WallClock::now();
+            machine.run(config.runLimit);
+            double sec = secondsSince(t0);
+            if (rep == 0 || sec < r.classic.bestSec)
+                r.classic.bestSec = sec;
+            r.classic.instrs = machine.stats().dynInstrs;
+        }
+
+        // --- profiling pass (classic run + dependence tracking) ---
+        for (int rep = 0; rep < repeats; ++rep) {
+            Profiler profiler;
+            Machine machine(workload.program, energy, hierarchy);
+            machine.setObserver(&profiler);
+            WallClock::time_point t0 = WallClock::now();
+            machine.run(config.runLimit);
+            double sec = secondsSince(t0);
+            if (rep == 0 || sec < r.profile.bestSec)
+                r.profile.bestSec = sec;
+            r.profile.instrs = machine.stats().dynInstrs;
+            r.productions = profiler.tracker().productions();
+        }
+
+        // --- amnesic interpretation (compile once, untimed) ---
+        {
+            amnesiac::CompilerConfig compiler_config = config.compiler;
+            compiler_config.runLimit = config.runLimit;
+            compiler_config.oracleSet = amnesiac::needsOracleSet(policy);
+            AmnesicCompiler compiler(energy, hierarchy, compiler_config);
+            CompileResult compiled = compiler.compile(workload.program);
+            AmnesicConfig amnesic = config.amnesic;
+            amnesic.policy = policy;
+            for (int rep = 0; rep < repeats; ++rep) {
+                AmnesicMachine machine(compiled.program, energy, amnesic,
+                                       hierarchy);
+                WallClock::time_point t0 = WallClock::now();
+                machine.run(config.runLimit);
+                double sec = secondsSince(t0);
+                if (rep == 0 || sec < r.amnesic.bestSec)
+                    r.amnesic.bestSec = sec;
+                r.amnesic.instrs = machine.stats().dynInstrs;
+            }
+        }
+
+        // --- one full pipeline run for the RunManifest phase times ---
+        {
+            ExperimentRunner runner(config);
+            amnesiac::BenchmarkResult result =
+                runner.run(workload, {policy});
+            r.manifestJson = renderManifestJson(result.manifest);
+        }
+        results.push_back(std::move(r));
+    }
+
+    // --- render BENCH_interp.json ---
+    std::string json = "{\n";
+    {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "  \"bench\": \"perf_interp\",\n  \"version\": 1,\n"
+                      "  \"quick\": %s,\n  \"repeats\": %d,\n"
+                      "  \"policy\": \"%s\",\n",
+                      quick ? "true" : "false", repeats,
+                      std::string(amnesiac::policyName(policy)).c_str());
+        json += buf;
+    }
+    json += "  \"workloads\": [\n";
+    PhaseResult classic_total, amnesic_total, profile_total;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const WorkloadResult &r = results[i];
+        json += "    {\"name\":\"" + r.name + "\",";
+        appendPhaseJson(json, "classic", r.classic);
+        json += ",";
+        appendPhaseJson(json, "amnesic", r.amnesic);
+        json += ",";
+        appendPhaseJson(json, "profile", r.profile);
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), ",\"productions\":%" PRIu64 ",",
+                      r.productions);
+        json += buf;
+        json += "\"manifest\":" + r.manifestJson + "}";
+        json += (i + 1 < results.size()) ? ",\n" : "\n";
+
+        classic_total.instrs += r.classic.instrs;
+        classic_total.bestSec += r.classic.bestSec;
+        amnesic_total.instrs += r.amnesic.instrs;
+        amnesic_total.bestSec += r.amnesic.bestSec;
+        profile_total.instrs += r.profile.instrs;
+        profile_total.bestSec += r.profile.bestSec;
+    }
+    json += "  ],\n  \"totals\": {";
+    appendPhaseJson(json, "classic", classic_total);
+    json += ",";
+    appendPhaseJson(json, "amnesic", amnesic_total);
+    json += ",";
+    appendPhaseJson(json, "profile", profile_total);
+    json += "}\n}\n";
+
+    std::ofstream out(out_path, std::ios::binary);
+    out << json;
+    if (!out) {
+        std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+        return 1;
+    }
+
+    std::printf("phase     instrs/sec   ns/instr  (aggregate best-of-%d)\n",
+                repeats);
+    std::printf("classic   %10.0f   %8.3f\n", classic_total.instrsPerSec(),
+                classic_total.nsPerInstr());
+    std::printf("amnesic   %10.0f   %8.3f\n", amnesic_total.instrsPerSec(),
+                amnesic_total.nsPerInstr());
+    std::printf("profile   %10.0f   %8.3f\n", profile_total.instrsPerSec(),
+                profile_total.nsPerInstr());
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

@@ -329,10 +329,10 @@ AmnesicMachine::traverseSlice(const Instruction &rcmp, std::uint64_t addr)
         _renamer.bind(si.rd, *slot);
         root_value = value;
 
-        e.chargeNonMem(categoryOf(si.op));
+        e.chargeNonMemAt(spc);
         ++e.mutableStats().dynInstrs;
         ++e.mutableStats().perCategory[static_cast<std::size_t>(
-            categoryOf(si.op))];
+            e.decodedCategory(spc))];
         ++e.mutableStats().recomputedInstrs;
         ++result.instrs;
     }

@@ -47,38 +47,40 @@ std::optional<RSlice>
 SliceBuilder::build(const SiteProfile &site, double energy_budget,
                     const Profiler &profiler) const
 {
+    const DepTracker &tracker = profiler.tracker();
     const CandidateTree *top = site.topTree();
-    if (!top || !top->representative ||
-        top->representative->kind != ProducerNode::Kind::Alu)
+    if (!top || top->representative == kNoNode ||
+        tracker.node(top->representative).kind != ProducerNode::Kind::Alu)
         return std::nullopt;
 
     CostModel cost(*_energy);
 
     // Materialize the current inclusion frontier into an RSlice.
-    auto materialize = [&](const std::vector<std::vector<NodePtr>> &levels)
+    auto materialize = [&](const std::vector<std::vector<NodeId>> &levels)
         -> RSlice {
-        struct Entry { NodePtr node; int level; };
+        struct Entry { NodeId node; int level; };
         std::vector<Entry> entries;
-        std::unordered_set<const ProducerNode *> seen;
+        std::unordered_set<NodeId> seen;
         for (std::size_t l = 0; l < levels.size(); ++l) {
-            for (const NodePtr &n : levels[l]) {
-                if (seen.insert(n.get()).second)
+            for (NodeId n : levels[l]) {
+                if (seen.insert(n).second)
                     entries.push_back({n, static_cast<int>(l)});
             }
         }
         std::sort(entries.begin(), entries.end(),
-                  [](const Entry &a, const Entry &b) {
-                      return a.node->seq < b.node->seq;
+                  [&](const Entry &a, const Entry &b) {
+                      return tracker.node(a.node).seq <
+                             tracker.node(b.node).seq;
                   });
-        std::unordered_map<const ProducerNode *, std::int32_t> index;
+        std::unordered_map<NodeId, std::int32_t> index;
         for (std::size_t i = 0; i < entries.size(); ++i)
-            index[entries[i].node.get()] = static_cast<std::int32_t>(i);
+            index[entries[i].node] = static_cast<std::int32_t>(i);
 
         RSlice slice;
         slice.loadPc = site.pc;
         slice.instrs.reserve(entries.size());
         for (const Entry &entry : entries) {
-            const ProducerNode &node = *entry.node;
+            const ProducerNode &node = tracker.node(entry.node);
             SliceInstr instr;
             instr.origPc = node.pc;
             instr.op = node.op;
@@ -87,12 +89,12 @@ SliceBuilder::build(const SiteProfile &site, double energy_budget,
             instr.level = entry.level;
             instr.seq = node.seq;
             instr.numOps = node.fanIn();
-            auto classify = [&](int k, Reg read_reg, const NodePtr &p) {
+            auto classify = [&](int k, Reg read_reg, NodeId p) {
                 SliceOperand &op = instr.ops[k];
                 op.reg = read_reg;
-                if (p && index.count(p.get())) {
+                if (p != kNoNode && index.count(p)) {
                     op.source = OperandSource::Slice;
-                    op.producerIndex = index[p.get()];
+                    op.producerIndex = index[p];
                 } else if (liveValid(site, node, k, _config.liveThreshold)) {
                     op.source = OperandSource::Live;
                 } else {
@@ -109,9 +111,8 @@ SliceBuilder::build(const SiteProfile &site, double energy_budget,
         return slice;
     };
 
-    std::vector<std::vector<NodePtr>> levels = {{top->representative}};
-    std::unordered_set<const ProducerNode *> included = {
-        top->representative.get()};
+    std::vector<std::vector<NodeId>> levels = {{top->representative}};
+    std::unordered_set<NodeId> included = {top->representative};
     std::optional<RSlice> best;
 
     // Growth cost is not monotone: expanding past a Hist-sourced
@@ -135,22 +136,24 @@ SliceBuilder::build(const SiteProfile &site, double energy_budget,
 
         // Next level: un-included ALU producers of this level's operands
         // that cannot be Live-sourced (Live is free and exact, §2.2).
-        std::vector<NodePtr> next;
-        for (const NodePtr &n : levels[h]) {
-            auto consider = [&](int k, const NodePtr &p) {
-                if (!p || p->kind != ProducerNode::Kind::Alu)
+        std::vector<NodeId> next;
+        for (NodeId nid : levels[h]) {
+            const ProducerNode &n = tracker.node(nid);
+            auto consider = [&](int k, NodeId p) {
+                if (p == kNoNode ||
+                    tracker.node(p).kind != ProducerNode::Kind::Alu)
                     return;
-                if (included.count(p.get()))
+                if (included.count(p))
                     return;
-                if (liveValid(site, *n, k, _config.liveThreshold))
+                if (liveValid(site, n, k, _config.liveThreshold))
                     return;
-                included.insert(p.get());
+                included.insert(p);
                 next.push_back(p);
             };
-            if (n->fanIn() >= 1)
-                consider(0, n->in1);
-            if (n->fanIn() >= 2)
-                consider(1, n->in2);
+            if (n.fanIn() >= 1)
+                consider(0, n.in1);
+            if (n.fanIn() >= 2)
+                consider(1, n.in2);
         }
         if (next.empty())
             break;

@@ -8,10 +8,50 @@ EnergyModel::EnergyModel(const EnergyConfig &config) : _config(config)
 {
     AMNESIAC_ASSERT(config.nonMemScale > 0.0, "nonMemScale must be > 0");
     AMNESIAC_ASSERT(config.frequencyGhz > 0.0, "frequency must be > 0");
+    buildTables();
+}
+
+void
+EnergyModel::buildTables()
+{
+    for (std::size_t i = 0; i < kNumCats; ++i) {
+        auto cat = static_cast<InstrCategory>(i);
+        if (cat == InstrCategory::Load || cat == InstrCategory::Store)
+            continue;  // _instrValid stays false: no flat cost exists
+        _instrValid[i] = true;
+        _instrNj[i] = instrEnergyRef(cat);
+        _instrCycles[i] = instrLatencyRef(cat);
+    }
+    for (std::size_t i = 0; i < kNumMemLevels; ++i) {
+        auto level = static_cast<MemLevel>(i);
+        _loadNj[i] = loadEnergyRef(level);
+        _loadCycles[i] = loadLatencyRef(level);
+        _storeNj[i] = storeEnergyRef(level);
+        _storeCycles[i] = storeLatencyRef(level);
+        if (level != MemLevel::L1)
+            _writebackNj[i] = writebackEnergyRef(level);
+        if (level != MemLevel::Memory) {
+            _probeNj[i] = probeEnergyRef(level);
+            _probeCycles[i] = probeLatencyRef(level);
+        }
+    }
+#ifndef NDEBUG
+    // The Ref model is pure, so table == switch by construction; this
+    // guards against someone later editing a Ref body to read mutable
+    // state (the unit test covers the release build).
+    for (std::size_t i = 0; i < kNumCats; ++i) {
+        auto cat = static_cast<InstrCategory>(i);
+        if (!_instrValid[i])
+            continue;
+        AMNESIAC_ASSERT(_instrNj[i] == instrEnergyRef(cat) &&
+                            _instrCycles[i] == instrLatencyRef(cat),
+                        "energy table diverged from the reference model");
+    }
+#endif
 }
 
 double
-EnergyModel::instrEnergy(InstrCategory cat) const
+EnergyModel::instrEnergyRef(InstrCategory cat) const
 {
     double scale = _config.nonMemScale;
     switch (cat) {
@@ -40,7 +80,7 @@ EnergyModel::instrEnergy(InstrCategory cat) const
 }
 
 std::uint32_t
-EnergyModel::instrLatency(InstrCategory cat) const
+EnergyModel::instrLatencyRef(InstrCategory cat) const
 {
     switch (cat) {
       case InstrCategory::IntDiv:
@@ -61,7 +101,7 @@ EnergyModel::instrLatency(InstrCategory cat) const
 }
 
 double
-EnergyModel::loadEnergy(MemLevel level) const
+EnergyModel::loadEnergyRef(MemLevel level) const
 {
     double core = _config.memCoreNj;
     switch (level) {
@@ -77,7 +117,7 @@ EnergyModel::loadEnergy(MemLevel level) const
 }
 
 std::uint32_t
-EnergyModel::loadLatency(MemLevel level) const
+EnergyModel::loadLatencyRef(MemLevel level) const
 {
     switch (level) {
       case MemLevel::L1:
@@ -91,25 +131,25 @@ EnergyModel::loadLatency(MemLevel level) const
 }
 
 double
-EnergyModel::storeEnergy(MemLevel level) const
+EnergyModel::storeEnergyRef(MemLevel level) const
 {
     // Write-allocate: a store missing down to `level` pays the same
     // traversal as a load, and the write itself lands in L1.
-    return loadEnergy(level);
+    return loadEnergyRef(level);
 }
 
 std::uint32_t
-EnergyModel::storeLatency(MemLevel level) const
+EnergyModel::storeLatencyRef(MemLevel level) const
 {
     // Stores retire through a write buffer; only the allocate fill on a
     // miss stalls the (in-order, scalar) core.
     if (level == MemLevel::L1)
         return 1;
-    return loadLatency(level);
+    return loadLatencyRef(level);
 }
 
 double
-EnergyModel::writebackEnergy(MemLevel into) const
+EnergyModel::writebackEnergyRef(MemLevel into) const
 {
     switch (into) {
       case MemLevel::L2:
@@ -123,7 +163,7 @@ EnergyModel::writebackEnergy(MemLevel into) const
 }
 
 double
-EnergyModel::probeEnergy(MemLevel down_to) const
+EnergyModel::probeEnergyRef(MemLevel down_to) const
 {
     switch (down_to) {
       case MemLevel::L1:
@@ -137,7 +177,7 @@ EnergyModel::probeEnergy(MemLevel down_to) const
 }
 
 std::uint32_t
-EnergyModel::probeLatency(MemLevel down_to) const
+EnergyModel::probeLatencyRef(MemLevel down_to) const
 {
     switch (down_to) {
       case MemLevel::L1:

@@ -72,6 +72,16 @@ struct EnergyConfig
 /**
  * Converts dynamic events (instructions, hierarchy accesses, amnesic
  * structure accesses) into energy (nJ) and latency (cycles).
+ *
+ * Every per-category/per-level cost is resolved into flat tables once
+ * at construction; the accessors below are array lookups, cheap enough
+ * for the interpreter's per-instruction hot path. The original
+ * switch-based derivations survive as the `*Ref()` reference model —
+ * they are the single source of truth the tables are built from (so
+ * table values are bit-identical doubles), serve as debug-build
+ * validators, and keep the canonical panic diagnostics for categories
+ * that have no flat cost (Load/Store need a service level, probes stop
+ * at a cache level, ...).
  */
 class EnergyModel
 {
@@ -82,34 +92,91 @@ class EnergyModel
      * Energy of one non-memory instruction.
      * Load/Store categories are rejected — use loadEnergy()/storeEnergy().
      */
-    double instrEnergy(InstrCategory cat) const;
+    double instrEnergy(InstrCategory cat) const
+    {
+        auto i = static_cast<std::size_t>(cat);
+        if (i >= kNumCats || !_instrValid[i])
+            return instrEnergyRef(cat);  // canonical panic
+        return _instrNj[i];
+    }
 
     /** Latency (cycles) of one non-memory instruction. */
-    std::uint32_t instrLatency(InstrCategory cat) const;
+    std::uint32_t instrLatency(InstrCategory cat) const
+    {
+        auto i = static_cast<std::size_t>(cat);
+        if (i >= kNumCats || !_instrValid[i])
+            return instrLatencyRef(cat);
+        return _instrCycles[i];
+    }
 
     /** Cumulative energy of a load serviced at `level` (probes included). */
-    double loadEnergy(MemLevel level) const;
+    double loadEnergy(MemLevel level) const
+    {
+        auto i = static_cast<std::size_t>(level);
+        return i < kNumMemLevels ? _loadNj[i] : loadEnergyRef(level);
+    }
 
     /** Round-trip latency of a load serviced at `level`. */
-    std::uint32_t loadLatency(MemLevel level) const;
+    std::uint32_t loadLatency(MemLevel level) const
+    {
+        auto i = static_cast<std::size_t>(level);
+        return i < kNumMemLevels ? _loadCycles[i] : loadLatencyRef(level);
+    }
 
     /** Energy of a store serviced at `level` (write-allocate fill). */
-    double storeEnergy(MemLevel level) const;
+    double storeEnergy(MemLevel level) const
+    {
+        auto i = static_cast<std::size_t>(level);
+        return i < kNumMemLevels ? _storeNj[i] : storeEnergyRef(level);
+    }
 
     /** Latency charged to a store serviced at `level`. */
-    std::uint32_t storeLatency(MemLevel level) const;
+    std::uint32_t storeLatency(MemLevel level) const
+    {
+        auto i = static_cast<std::size_t>(level);
+        return i < kNumMemLevels ? _storeCycles[i] : storeLatencyRef(level);
+    }
 
     /** Energy of a dirty write-back *into* `level` (L2 or Memory). */
-    double writebackEnergy(MemLevel into) const;
+    double writebackEnergy(MemLevel into) const
+    {
+        auto i = static_cast<std::size_t>(into);
+        if (i >= kNumMemLevels || into == MemLevel::L1)
+            return writebackEnergyRef(into);
+        return _writebackNj[i];
+    }
 
     /**
      * Energy of probing the hierarchy down to `level` inclusive without
      * being serviced (the FLC/LLC policy check cost, §3.3.1).
      */
-    double probeEnergy(MemLevel down_to) const;
+    double probeEnergy(MemLevel down_to) const
+    {
+        auto i = static_cast<std::size_t>(down_to);
+        if (i >= kNumMemLevels || down_to == MemLevel::Memory)
+            return probeEnergyRef(down_to);
+        return _probeNj[i];
+    }
 
     /** Latency of the same probe. */
-    std::uint32_t probeLatency(MemLevel down_to) const;
+    std::uint32_t probeLatency(MemLevel down_to) const
+    {
+        auto i = static_cast<std::size_t>(down_to);
+        if (i >= kNumMemLevels || down_to == MemLevel::Memory)
+            return probeLatencyRef(down_to);
+        return _probeCycles[i];
+    }
+
+    // --- reference model (switch-based derivations; see class docs) ---
+    double instrEnergyRef(InstrCategory cat) const;
+    std::uint32_t instrLatencyRef(InstrCategory cat) const;
+    double loadEnergyRef(MemLevel level) const;
+    std::uint32_t loadLatencyRef(MemLevel level) const;
+    double storeEnergyRef(MemLevel level) const;
+    std::uint32_t storeLatencyRef(MemLevel level) const;
+    double writebackEnergyRef(MemLevel into) const;
+    double probeEnergyRef(MemLevel down_to) const;
+    std::uint32_t probeLatencyRef(MemLevel down_to) const;
 
     /** Hist read/write cost (modeled after L1-D, §4). */
     double histAccessEnergy() const { return _config.histAccessNj; }
@@ -130,7 +197,25 @@ class EnergyModel
     EnergyModel withNonMemScale(double scale) const;
 
   private:
+    static constexpr std::size_t kNumCats =
+        static_cast<std::size_t>(InstrCategory::NumCategories);
+
+    void buildTables();
+
     EnergyConfig _config;
+    // Flat cost tables resolved from the reference model at
+    // construction (see class docs). _instrValid is false exactly for
+    // the categories instrEnergyRef() rejects (Load/Store).
+    std::array<double, kNumCats> _instrNj{};
+    std::array<std::uint32_t, kNumCats> _instrCycles{};
+    std::array<bool, kNumCats> _instrValid{};
+    std::array<double, kNumMemLevels> _loadNj{};
+    std::array<std::uint32_t, kNumMemLevels> _loadCycles{};
+    std::array<double, kNumMemLevels> _storeNj{};
+    std::array<std::uint32_t, kNumMemLevels> _storeCycles{};
+    std::array<double, kNumMemLevels> _writebackNj{};  ///< L1 slot unused
+    std::array<double, kNumMemLevels> _probeNj{};      ///< Memory slot unused
+    std::array<std::uint32_t, kNumMemLevels> _probeCycles{};
 };
 
 }  // namespace amnesiac

@@ -1,5 +1,7 @@
 #include "mem/cache.h"
 
+#include <bit>
+
 #include "util/logging.h"
 
 namespace amnesiac {
@@ -23,19 +25,26 @@ Cache::Cache(const CacheConfig &config) : _config(config)
                     "size/line/ways geometry does not divide into sets");
     _numSets = static_cast<std::uint32_t>(lines / config.ways);
     AMNESIAC_ASSERT(isPowerOfTwo(_numSets), "set count not 2^k");
+    // Both divisors are asserted power-of-two above, so every division
+    // and modulo on the access path reduces to a shift or mask.
+    _lineShift = static_cast<std::uint32_t>(std::countr_zero(
+        static_cast<std::uint64_t>(config.lineBytes)));
+    _setShift = static_cast<std::uint32_t>(std::countr_zero(
+        static_cast<std::uint64_t>(_numSets)));
+    _setMask = _numSets - 1;
     _lines.resize(static_cast<std::size_t>(_numSets) * config.ways);
 }
 
 std::uint64_t
 Cache::lineAddr(std::uint64_t addr) const
 {
-    return addr / _config.lineBytes;
+    return addr >> _lineShift;
 }
 
 std::uint32_t
 Cache::setIndex(std::uint64_t line_addr) const
 {
-    return static_cast<std::uint32_t>(line_addr & (_numSets - 1));
+    return static_cast<std::uint32_t>(line_addr & _setMask);
 }
 
 bool
@@ -46,7 +55,7 @@ Cache::access(std::uint64_t addr, bool is_write, bool &evicted_dirty,
     evicted_addr = 0;
     ++_tick;
     std::uint64_t laddr = lineAddr(addr);
-    std::uint64_t tag = laddr / _numSets;
+    std::uint64_t tag = laddr >> _setShift;
     Line *set = &_lines[static_cast<std::size_t>(setIndex(laddr)) *
                         _config.ways];
 
@@ -72,8 +81,8 @@ Cache::access(std::uint64_t addr, bool is_write, bool &evicted_dirty,
         if (victim->dirty) {
             ++_stats.dirtyEvictions;
             evicted_dirty = true;
-            evicted_addr = (victim->tag * _numSets +
-                            setIndex(laddr)) * _config.lineBytes;
+            evicted_addr = ((victim->tag << _setShift) |
+                            setIndex(laddr)) << _lineShift;
         }
     }
     victim->valid = true;
@@ -84,10 +93,18 @@ Cache::access(std::uint64_t addr, bool is_write, bool &evicted_dirty,
 }
 
 bool
+Cache::installWriteback(std::uint64_t addr, bool &evicted_dirty,
+                        std::uint64_t &evicted_addr)
+{
+    ++_stats.writebackInstalls;
+    return access(addr, /*is_write=*/true, evicted_dirty, evicted_addr);
+}
+
+bool
 Cache::contains(std::uint64_t addr) const
 {
     std::uint64_t laddr = lineAddr(addr);
-    std::uint64_t tag = laddr / _numSets;
+    std::uint64_t tag = laddr >> _setShift;
     const Line *set = &_lines[static_cast<std::size_t>(setIndex(laddr)) *
                               _config.ways];
     for (std::uint32_t w = 0; w < _config.ways; ++w)
@@ -100,7 +117,7 @@ bool
 Cache::invalidate(std::uint64_t addr)
 {
     std::uint64_t laddr = lineAddr(addr);
-    std::uint64_t tag = laddr / _numSets;
+    std::uint64_t tag = laddr >> _setShift;
     Line *set = &_lines[static_cast<std::size_t>(setIndex(laddr)) *
                         _config.ways];
     for (std::uint32_t w = 0; w < _config.ways; ++w) {

@@ -28,6 +28,10 @@ struct CacheStats
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
     std::uint64_t dirtyEvictions = 0;
+    /** Lines installed into this level by a dirty write-back from the
+     * level above (hierarchy write-back traffic, not demand accesses —
+     * although they are also counted in hits/misses, as before). */
+    std::uint64_t writebackInstalls = 0;
 
     std::uint64_t accesses() const { return hits + misses; }
 };
@@ -54,6 +58,14 @@ class Cache
      */
     bool access(std::uint64_t addr, bool is_write, bool &evicted_dirty,
                 std::uint64_t &evicted_addr);
+
+    /**
+     * A write access performed on behalf of a dirty write-back arriving
+     * from the level above: identical to access(addr, true, ...) but
+     * additionally counted in CacheStats::writebackInstalls.
+     */
+    bool installWriteback(std::uint64_t addr, bool &evicted_dirty,
+                          std::uint64_t &evicted_addr);
 
     /** Non-mutating lookup (no LRU update); used by probes and oracles. */
     bool contains(std::uint64_t addr) const;
@@ -90,6 +102,11 @@ class Cache
 
     CacheConfig _config;
     std::uint32_t _numSets;
+    // Shift/mask forms of the (power-of-two, asserted in the ctor)
+    // geometry divisors, so the per-access index math is division-free.
+    std::uint32_t _lineShift = 0;
+    std::uint32_t _setShift = 0;
+    std::uint64_t _setMask = 0;
     std::vector<Line> _lines;  ///< numSets × ways, row-major by set
     std::uint64_t _tick = 0;   ///< logical time for LRU ordering
     CacheStats _stats;

@@ -20,6 +20,20 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &config)
 {
 }
 
+/** Install a dirty L1 victim into L2 (write-back); cascades a dirty L2
+ * victim toward memory via result.l2Writeback. */
+void
+MemoryHierarchy::installL1Victim(std::uint64_t victim_addr,
+                                 HierarchyAccess &result)
+{
+    result.l1Writeback = true;
+    bool wb_dirty = false;
+    std::uint64_t wb_victim = 0;
+    _l2.installWriteback(victim_addr, wb_dirty, wb_victim);
+    if (wb_dirty)
+        result.l2Writeback = true;
+}
+
 HierarchyAccess
 MemoryHierarchy::accessCommon(std::uint64_t addr, bool is_write)
 {
@@ -31,15 +45,8 @@ MemoryHierarchy::accessCommon(std::uint64_t addr, bool is_write)
         result.servicedBy = MemLevel::L1;
         return result;
     }
-    // L1 miss: a dirty L1 victim is installed into L2 (write-back).
-    if (dirty) {
-        result.l1Writeback = true;
-        bool wb_dirty = false;
-        std::uint64_t wb_victim = 0;
-        _l2.access(victim, true, wb_dirty, wb_victim);
-        if (wb_dirty)
-            result.l2Writeback = true;
-    }
+    if (dirty)
+        installL1Victim(victim, result);
 
     bool l2_dirty = false;
     std::uint64_t l2_victim = 0;

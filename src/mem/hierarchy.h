@@ -97,6 +97,7 @@ class MemoryHierarchy
 
   private:
     HierarchyAccess accessCommon(std::uint64_t addr, bool is_write);
+    void installL1Victim(std::uint64_t victim_addr, HierarchyAccess &result);
 
     Cache _l1;
     Cache _l2;

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "util/logging.h"
-
 namespace amnesiac {
 
 namespace {
@@ -18,32 +16,105 @@ mix(std::uint64_t h, std::uint64_t v)
     return h * kFnvPrime;
 }
 
-std::uint64_t
-signatureWalk(const NodePtr &node, int depth_left, int &nodes_left)
-{
-    if (!node)
-        return 0x11ull;  // untracked-origin marker
-    if (depth_left == 0 || nodes_left <= 0)
-        return 0x22ull;  // truncation marker
-    --nodes_left;
-    std::uint64_t h = kFnvOffset;
-    h = mix(h, static_cast<std::uint64_t>(node->kind));
-    h = mix(h, node->pc);
-    h = mix(h, static_cast<std::uint64_t>(node->op));
-    if (node->fanIn() >= 1)
-        h = mix(h, signatureWalk(node->in1, depth_left - 1, nodes_left));
-    if (node->fanIn() >= 2)
-        h = mix(h, signatureWalk(node->in2, depth_left - 1, nodes_left));
-    return h;
-}
-
 }  // namespace
 
 std::uint64_t
-treeSignature(const NodePtr &root, int max_depth, int max_nodes)
+treeSignature(const DepTracker &tracker, NodeId root, int max_depth,
+              int max_nodes)
 {
+    // Iterative pre-order replication of the original recursive walk.
+    // Order matters: the node budget is shared across the whole tree,
+    // so in1's subtree must be consumed fully before in2 is entered,
+    // and markers (untracked/truncation) must not consume budget.
+    struct Frame
+    {
+        NodeId node;
+        int depthLeft;
+        std::uint64_t h;
+        int nextChild;
+    };
     int nodes_left = max_nodes;
-    return signatureWalk(root, max_depth, nodes_left);
+    std::vector<Frame> stack;
+    std::uint64_t ret = 0;
+
+    // Visit a node: either resolve it to a marker immediately (returns
+    // false, marker in `ret`) or open a frame for it (returns true).
+    auto enter = [&](NodeId id, int depth_left) {
+        if (id == kNoNode) {
+            ret = 0x11ull;  // untracked-origin marker
+            return false;
+        }
+        if (depth_left == 0 || nodes_left <= 0) {
+            ret = 0x22ull;  // truncation marker
+            return false;
+        }
+        --nodes_left;
+        const ProducerNode &n = tracker.node(id);
+        std::uint64_t h = kFnvOffset;
+        h = mix(h, static_cast<std::uint64_t>(n.kind));
+        h = mix(h, n.pc);
+        h = mix(h, static_cast<std::uint64_t>(n.op));
+        stack.push_back({id, depth_left, h, 0});
+        return true;
+    };
+
+    if (!enter(root, max_depth))
+        return ret;
+    while (!stack.empty()) {
+        Frame &f = stack.back();
+        const ProducerNode &n = tracker.node(f.node);
+        if (f.nextChild < n.fanIn()) {
+            int k = f.nextChild++;
+            NodeId child = k == 0 ? n.in1 : n.in2;
+            if (enter(child, f.depthLeft - 1))
+                continue;  // descend (f may be stale after the push)
+            f.h = mix(f.h, ret);  // marker: mix immediately
+            continue;
+        }
+        ret = f.h;
+        stack.pop_back();
+        if (!stack.empty())
+            stack.back().h = mix(stack.back().h, ret);
+    }
+    return ret;
+}
+
+NodeId
+DepTracker::alloc()
+{
+    if (!_free.empty()) {
+        NodeId id = _free.back();
+        _free.pop_back();
+        _nodes[id] = ProducerNode{};
+        _refs[id] = 1;
+        return id;
+    }
+    auto id = static_cast<NodeId>(_nodes.size());
+    AMNESIAC_ASSERT(id != kNoNode, "node arena exhausted");
+    _nodes.emplace_back();
+    _refs.push_back(1);
+    return id;
+}
+
+void
+DepTracker::unref(NodeId id)
+{
+    _reclaim.push_back(id);
+    while (!_reclaim.empty()) {
+        NodeId cur = _reclaim.back();
+        _reclaim.pop_back();
+        AMNESIAC_ASSERT(cur < _refs.size() && _refs[cur] > 0, "bad unref");
+        if (--_refs[cur] != 0)
+            continue;
+        ProducerNode &n = _nodes[cur];
+        if (n.in1 != kNoNode)
+            _reclaim.push_back(n.in1);
+        if (n.in2 != kNoNode)
+            _reclaim.push_back(n.in2);
+        n.in1 = kNoNode;
+        n.in2 = kNoNode;
+        _free.push_back(cur);
+    }
 }
 
 void
@@ -51,50 +122,59 @@ DepTracker::onAlu(std::uint32_t pc, const Instruction &instr,
                   std::uint64_t result)
 {
     AMNESIAC_ASSERT(isSliceable(instr.op), "onAlu: non-sliceable opcode");
-    auto node = std::make_shared<ProducerNode>();
-    node->kind = ProducerNode::Kind::Alu;
-    node->pc = pc;
-    node->op = instr.op;
-    node->rd = instr.rd;
-    node->rs1 = instr.rs1;
-    node->rs2 = instr.rs2;
-    node->imm = instr.imm;
     int fan_in = numSources(instr.op);
     // Children at the depth cap are replaced by value-preserving stubs:
     // this bounds graph depth and memory while keeping Live cuts and
     // tree signatures above the cap byte-identical to the untruncated
     // graph. No buildable slice is anywhere near kMaxChainDepth tall.
-    auto link = [pc](const NodePtr &child) -> NodePtr {
-        if (!child)
-            return nullptr;
-        bool self_chain = child->kind == ProducerNode::Kind::Alu &&
-                          child->pc == pc;
-        if (child->depth >= kMaxChainDepth ||
-            (self_chain && child->depth >= kSelfChainDepth)) {
-            auto stub = std::make_shared<ProducerNode>(*child);
-            stub->kind = ProducerNode::Kind::Truncated;
-            stub->in1.reset();
-            stub->in2.reset();
-            stub->depth = 1;
-            return stub;
+    // Each link hands the caller ownership of one reference (a stub is
+    // born owned; a kept child gets an extra ref). Children are linked
+    // *before* the parent slot is allocated so no reference into the
+    // arena is held across a potential growth.
+    auto link = [&](NodeId child) -> NodeId {
+        if (child == kNoNode)
+            return kNoNode;
+        const ProducerNode &c = _nodes[child];
+        bool self_chain = c.kind == ProducerNode::Kind::Alu && c.pc == pc;
+        if (c.depth >= kMaxChainDepth ||
+            (self_chain && c.depth >= kSelfChainDepth)) {
+            ProducerNode stub = c;  // copy first: alloc may grow _nodes
+            stub.kind = ProducerNode::Kind::Truncated;
+            stub.in1 = kNoNode;
+            stub.in2 = kNoNode;
+            stub.depth = 1;
+            NodeId sid = alloc();
+            _nodes[sid] = stub;
+            return sid;
         }
+        ref(child);
         return child;
     };
+    NodeId in1 = fan_in >= 1 ? link(_regs[instr.rs1]) : kNoNode;
+    NodeId in2 = fan_in >= 2 ? link(_regs[instr.rs2]) : kNoNode;
     std::uint16_t depth = 1;
-    if (fan_in >= 1) {
-        node->in1 = link(_regs[instr.rs1]);
-        if (node->in1)
-            depth = std::max<std::uint16_t>(depth, node->in1->depth + 1);
-    }
-    if (fan_in >= 2) {
-        node->in2 = link(_regs[instr.rs2]);
-        if (node->in2)
-            depth = std::max<std::uint16_t>(depth, node->in2->depth + 1);
-    }
-    node->depth = depth;
-    node->seq = ++_seq;
-    node->value = result;
-    _regs[instr.rd] = std::move(node);
+    if (in1 != kNoNode)
+        depth = std::max<std::uint16_t>(depth, _nodes[in1].depth + 1);
+    if (in2 != kNoNode)
+        depth = std::max<std::uint16_t>(depth, _nodes[in2].depth + 1);
+
+    NodeId nid = alloc();
+    ProducerNode &node = _nodes[nid];
+    node.kind = ProducerNode::Kind::Alu;
+    node.pc = pc;
+    node.op = instr.op;
+    node.rd = instr.rd;
+    node.rs1 = instr.rs1;
+    node.rs2 = instr.rs2;
+    node.imm = instr.imm;
+    node.in1 = in1;
+    node.in2 = in2;
+    node.depth = depth;
+    node.seq = ++_seq;
+    node.value = result;
+    // Assign before releasing: with rd == rs1 the old producer is still
+    // referenced through the new node's link and must survive.
+    setReg(instr.rd, nid);
 }
 
 void
@@ -102,40 +182,49 @@ DepTracker::onLoad(std::uint32_t pc, const Instruction &instr,
                    std::uint64_t addr, std::uint64_t value)
 {
     auto it = _mem.find(addr / 8);
-    if (it != _mem.end() && it->second) {
+    if (it != _mem.end() && it->second != kNoNode) {
         // The register now holds the stored value: same production.
-        _regs[instr.rd] = it->second;
+        ref(it->second);
+        setReg(instr.rd, it->second);
         return;
     }
-    auto node = std::make_shared<ProducerNode>();
-    node->kind = ProducerNode::Kind::InputLoad;
-    node->pc = pc;
-    node->op = instr.op;
-    node->rd = instr.rd;
-    node->seq = ++_seq;
-    node->value = value;
-    node->addr = addr;
-    _regs[instr.rd] = std::move(node);
+    NodeId nid = alloc();
+    ProducerNode &node = _nodes[nid];
+    node.kind = ProducerNode::Kind::InputLoad;
+    node.pc = pc;
+    node.op = instr.op;
+    node.rd = instr.rd;
+    node.seq = ++_seq;
+    node.value = value;
+    node.addr = addr;
+    setReg(instr.rd, nid);
 }
 
 void
 DepTracker::onStore(const Instruction &instr, std::uint64_t addr)
 {
-    _mem[addr / 8] = _regs[instr.rs2];
+    NodeId incoming = _regs[instr.rs2];
+    auto [it, inserted] = _mem.try_emplace(addr / 8, incoming);
+    if (inserted) {
+        if (incoming != kNoNode)
+            ref(incoming);
+        return;
+    }
+    NodeId old = it->second;
+    if (old == incoming)
+        return;
+    if (incoming != kNoNode)
+        ref(incoming);
+    it->second = incoming;
+    if (old != kNoNode)
+        unref(old);
 }
 
-const NodePtr &
-DepTracker::regProducer(Reg r) const
-{
-    AMNESIAC_ASSERT(r < kNumRegs, "register index out of range");
-    return _regs[r];
-}
-
-NodePtr
+NodeId
 DepTracker::memProducer(std::uint64_t addr) const
 {
     auto it = _mem.find(addr / 8);
-    return it == _mem.end() ? nullptr : it->second;
+    return it == _mem.end() ? kNoNode : it->second;
 }
 
 }  // namespace amnesiac

@@ -8,6 +8,12 @@
  * propagate the stored value's node into memory; loads pull it back out.
  * At any load, the node of the loaded value is the root of the dynamic
  * backward slice — exactly the RSlice(v) candidate of §2.1.
+ *
+ * Nodes live in an index-based arena owned by the tracker: links are
+ * 32-bit NodeIds instead of shared_ptrs, and dead subgraphs are recycled
+ * through a free list, so steady-state profiling performs no heap
+ * allocation per dynamic instruction (the arena reaches a fixed point
+ * once every static site's chain shapes have been seen).
  */
 
 #ifndef AMNESIAC_PROFILE_DEP_TRACKER_H
@@ -15,12 +21,19 @@
 
 #include <array>
 #include <cstdint>
-#include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "isa/instruction.h"
+#include "util/logging.h"
 
 namespace amnesiac {
+
+/** Arena index of a ProducerNode (see DepTracker). */
+using NodeId = std::uint32_t;
+
+/** "No producer" — the untracked origin (initial register state). */
+inline constexpr NodeId kNoNode = 0xFFFFFFFFu;
 
 /** One dynamic value production. Immutable once created. */
 struct ProducerNode
@@ -46,15 +59,15 @@ struct ProducerNode
     Reg rs1 = 0;
     Reg rs2 = 0;
     std::int64_t imm = 0;
-    /** Producers of the input operands; null = untracked origin
+    /** Producers of the input operands; kNoNode = untracked origin
      * (initial register state). */
-    std::shared_ptr<const ProducerNode> in1;
-    std::shared_ptr<const ProducerNode> in2;
+    NodeId in1 = kNoNode;
+    NodeId in2 = kNoNode;
     /** Global dynamic sequence number (monotonic per production). */
     std::uint64_t seq = 0;
     /** Longest producer chain below (and including) this node. Chains
      * are cut at kMaxChainDepth — far beyond any buildable slice — so
-     * node graphs stay bounded and destruction never recurses deeply. */
+     * node graphs stay bounded and reclamation never walks deeply. */
     std::uint16_t depth = 1;
     /** The produced value (diagnostics and dry-run seeding). */
     std::uint64_t value = 0;
@@ -71,8 +84,6 @@ struct ProducerNode
     }
 };
 
-using NodePtr = std::shared_ptr<const ProducerNode>;
-
 /** Producer-chain depth limit (see ProducerNode::depth). */
 inline constexpr std::uint16_t kMaxChainDepth = 192;
 
@@ -83,23 +94,19 @@ inline constexpr std::uint16_t kMaxChainDepth = 192;
 inline constexpr std::uint16_t kSelfChainDepth = 8;
 
 /**
- * Structural signature of a backward slice: two dynamic trees get the
- * same signature iff they replicate the same static instructions in the
- * same shape (used to measure per-site slice stability, §3.1.1).
- * Depth and node count are capped; oversize trees get a sentinel mixed
- * into the hash so they never collide with their truncation.
- */
-std::uint64_t treeSignature(const NodePtr &root, int max_depth = 12,
-                            int max_nodes = 256);
-
-/**
  * Tracks producers for every architectural register and memory word
  * during one classic run. Fed by the Profiler observer.
+ *
+ * Node lifetime is reference-counted over the arena: registers, memory
+ * words, parent links, and explicit pin() calls hold references; a node
+ * whose last reference drops is recycled (its slot returns to the free
+ * list, cascading iteratively through its children). The tracker — and
+ * therefore every NodeId it handed out — is confined to one thread.
  */
 class DepTracker
 {
   public:
-    DepTracker() = default;
+    DepTracker() { _regs.fill(kNoNode); }
 
     /** Record execution of a sliceable instruction. */
     void onAlu(std::uint32_t pc, const Instruction &instr,
@@ -113,20 +120,86 @@ class DepTracker
     /** Record a store: memory inherits the stored value's producer. */
     void onStore(const Instruction &instr, std::uint64_t addr);
 
-    /** Producer of the current value of register r (may be null). */
-    const NodePtr &regProducer(Reg r) const;
+    /** Producer of the current value of register r (may be kNoNode). */
+    NodeId regProducer(Reg r) const
+    {
+        AMNESIAC_ASSERT(r < kNumRegs, "register index out of range");
+        return _regs[r];
+    }
 
-    /** Producer of the value at a memory word (null if untracked). */
-    NodePtr memProducer(std::uint64_t addr) const;
+    /** Producer of the value at a memory word (kNoNode if untracked). */
+    NodeId memProducer(std::uint64_t addr) const;
+
+    /** The node behind an id. Valid until its last reference drops. */
+    const ProducerNode &node(NodeId id) const
+    {
+        AMNESIAC_ASSERT(id < _nodes.size(), "bad node id");
+        return _nodes[id];
+    }
+
+    /**
+     * Take an extra reference on a node, keeping it (and everything
+     * below it) alive past register/memory overwrites — used for
+     * representative trees held across the whole profiling run. Pins
+     * are never released individually; they die with the tracker.
+     */
+    void pin(NodeId id)
+    {
+        if (id != kNoNode)
+            ref(id);
+    }
 
     /** Dynamic productions so far (sequence counter). */
     std::uint64_t productions() const { return _seq; }
 
+    /** Arena capacity in nodes (monitoring / allocation tests). */
+    std::size_t arenaSize() const { return _nodes.size(); }
+
+    /** Currently recycled slots (monitoring / allocation tests). */
+    std::size_t freeCount() const { return _free.size(); }
+
   private:
-    std::array<NodePtr, kNumRegs> _regs;
-    std::unordered_map<std::uint64_t, NodePtr> _mem;  ///< word addr -> node
+    /** Fresh slot with refcount 1 (free list first, then growth). */
+    NodeId alloc();
+
+    void ref(NodeId id)
+    {
+        AMNESIAC_ASSERT(id < _refs.size() && _refs[id] > 0, "bad ref");
+        ++_refs[id];
+    }
+
+    /** Drop one reference; reclaims the node (and, iteratively, any
+     * children this was the last holder of) when it hits zero. */
+    void unref(NodeId id);
+
+    /** Point register r at `id` (ownership transferred from caller),
+     * releasing whatever the register held before. */
+    void setReg(Reg r, NodeId id)
+    {
+        NodeId old = _regs[r];
+        _regs[r] = id;
+        if (old != kNoNode)
+            unref(old);
+    }
+
+    std::vector<ProducerNode> _nodes;
+    std::vector<std::uint32_t> _refs;  ///< parallel to _nodes
+    std::vector<NodeId> _free;         ///< recycled slots
+    std::vector<NodeId> _reclaim;      ///< scratch for iterative unref
+    std::array<NodeId, kNumRegs> _regs;
+    std::unordered_map<std::uint64_t, NodeId> _mem;  ///< word addr -> node
     std::uint64_t _seq = 0;
 };
+
+/**
+ * Structural signature of a backward slice: two dynamic trees get the
+ * same signature iff they replicate the same static instructions in the
+ * same shape (used to measure per-site slice stability, §3.1.1).
+ * Depth and node count are capped; oversize trees get a sentinel mixed
+ * into the hash so they never collide with their truncation.
+ */
+std::uint64_t treeSignature(const DepTracker &tracker, NodeId root,
+                            int max_depth = 12, int max_nodes = 256);
 
 }  // namespace amnesiac
 

@@ -66,8 +66,9 @@ Profiler::onLoad(const ExecutionEngine &m, std::uint32_t pc, std::uint64_t addr,
     const Instruction &instr = m.program().code[pc];
     _tracker.onLoad(pc, instr, addr, value);
 
-    const NodePtr &root = _tracker.regProducer(instr.rd);
-    if (!root || root->kind != ProducerNode::Kind::Alu) {
+    NodeId root = _tracker.regProducer(instr.rd);
+    if (root == kNoNode ||
+        _tracker.node(root).kind != ProducerNode::Kind::Alu) {
         ++site.untracked;
         return;
     }
@@ -103,31 +104,32 @@ sigMix(std::uint64_t h, std::uint64_t v)
  */
 std::uint64_t
 liveCutSignature(const ExecutionEngine &m, const DepTracker &tracker,
-                 const NodePtr &node, int depth_left, int &nodes_left)
+                 NodeId id, int depth_left, int &nodes_left)
 {
-    if (!node)
+    if (id == kNoNode)
         return 0x11ull;
     if (depth_left == 0 || nodes_left <= 0)
         return 0x22ull;
     --nodes_left;
+    const ProducerNode &node = tracker.node(id);
     std::uint64_t h = 0xCBF29CE484222325ull;
-    h = sigMix(h, static_cast<std::uint64_t>(node->kind));
-    h = sigMix(h, node->pc);
-    h = sigMix(h, static_cast<std::uint64_t>(node->op));
-    auto operand = [&](Reg read_reg, const NodePtr &p) -> std::uint64_t {
-        if (p) {
-            if (m.reg(read_reg) == p->value)
+    h = sigMix(h, static_cast<std::uint64_t>(node.kind));
+    h = sigMix(h, node.pc);
+    h = sigMix(h, static_cast<std::uint64_t>(node.op));
+    auto operand = [&](Reg read_reg, NodeId p) -> std::uint64_t {
+        if (p != kNoNode) {
+            if (m.reg(read_reg) == tracker.node(p).value)
                 return 0x33ull;  // Live cut
             return liveCutSignature(m, tracker, p, depth_left - 1,
                                     nodes_left);
         }
         // Untracked origin: live while the register is untouched.
-        return tracker.regProducer(read_reg) ? 0x11ull : 0x33ull;
+        return tracker.regProducer(read_reg) != kNoNode ? 0x11ull : 0x33ull;
     };
-    if (node->fanIn() >= 1)
-        h = sigMix(h, operand(node->rs1, node->in1));
-    if (node->fanIn() >= 2)
-        h = sigMix(h, operand(node->rs2, node->in2));
+    if (node.fanIn() >= 1)
+        h = sigMix(h, operand(node.rs1, node.in1));
+    if (node.fanIn() >= 2)
+        h = sigMix(h, operand(node.rs2, node.in2));
     return h;
 }
 
@@ -135,7 +137,7 @@ liveCutSignature(const ExecutionEngine &m, const DepTracker &tracker,
 
 void
 Profiler::analyzeTree(const ExecutionEngine &m, SiteProfile &site,
-                      const NodePtr &root)
+                      NodeId root)
 {
     int sig_nodes_left = _config.maxTreeNodes;
     std::uint64_t sig = liveCutSignature(m, _tracker, root,
@@ -148,6 +150,7 @@ Profiler::analyzeTree(const ExecutionEngine &m, SiteProfile &site,
     if (it != site.trees.end()) {
         ++it->count;
     } else if (site.trees.size() < _config.maxDistinctTrees) {
+        _tracker.pin(root);  // keep the representative alive in the arena
         site.trees.push_back({sig, 1, root});
     } else {
         site.treeOverflow = true;
@@ -159,16 +162,17 @@ Profiler::analyzeTree(const ExecutionEngine &m, SiteProfile &site,
 
 void
 Profiler::collectLiveStats(const ExecutionEngine &m, SiteProfile &site,
-                           const NodePtr &node, int depth_left,
-                           int &nodes_left)
+                           NodeId id, int depth_left, int &nodes_left)
 {
-    if (!node || node->kind != ProducerNode::Kind::Alu || depth_left == 0 ||
-        nodes_left <= 0)
+    if (id == kNoNode || depth_left == 0 || nodes_left <= 0)
+        return;
+    const ProducerNode &node = _tracker.node(id);
+    if (node.kind != ProducerNode::Kind::Alu)
         return;
     --nodes_left;
 
-    auto record = [&](int idx, Reg read_reg, const NodePtr &producer) {
-        OperandLiveStat &stat = site.operandLive[operandKey(node->pc, idx)];
+    auto record = [&](int idx, Reg read_reg, NodeId producer) {
+        OperandLiveStat &stat = site.operandLive[operandKey(node.pc, idx)];
         ++stat.seen;
         // Live sourcing is legal for this instance iff the register the
         // replica would read holds the value the production consumed —
@@ -176,14 +180,14 @@ Profiler::collectLiveStats(const ExecutionEngine &m, SiteProfile &site,
         // re-produced the same value (e.g. an index recomputed by the
         // consumer loop). Untracked origins count as live only while
         // the register is still untouched.
-        if (producer) {
-            if (m.reg(read_reg) == producer->value) {
+        if (producer != kNoNode) {
+            if (m.reg(read_reg) == _tracker.node(producer).value) {
                 ++stat.matches;
                 return true;
             }
             return false;
         }
-        if (!_tracker.regProducer(read_reg)) {
+        if (_tracker.regProducer(read_reg) == kNoNode) {
             ++stat.matches;
             return true;
         }
@@ -192,11 +196,11 @@ Profiler::collectLiveStats(const ExecutionEngine &m, SiteProfile &site,
 
     // Recursion mirrors the builder: a Live-matched operand is a cut —
     // nothing below it can end up in the slice on this instance.
-    int fan_in = node->fanIn();
-    if (fan_in >= 1 && !record(0, node->rs1, node->in1))
-        collectLiveStats(m, site, node->in1, depth_left - 1, nodes_left);
-    if (fan_in >= 2 && !record(1, node->rs2, node->in2))
-        collectLiveStats(m, site, node->in2, depth_left - 1, nodes_left);
+    int fan_in = node.fanIn();
+    if (fan_in >= 1 && !record(0, node.rs1, node.in1))
+        collectLiveStats(m, site, node.in1, depth_left - 1, nodes_left);
+    if (fan_in >= 2 && !record(1, node.rs2, node.in2))
+        collectLiveStats(m, site, node.in2, depth_left - 1, nodes_left);
 }
 
 const SiteProfile *

@@ -35,8 +35,10 @@ struct CandidateTree
 {
     std::uint64_t signature = 0;
     std::uint64_t count = 0;
-    /** First dynamic instance with this signature (kept alive). */
-    NodePtr representative;
+    /** First dynamic instance with this signature (pinned in the
+     * profiler's DepTracker arena, so it stays valid for the whole
+     * profiling run). */
+    NodeId representative = kNoNode;
 };
 
 /** Live-operand statistics key: (node pc, operand index). */
@@ -122,10 +124,9 @@ class Profiler : public MachineObserver
 
   private:
     void analyzeTree(const ExecutionEngine &m, SiteProfile &site,
-                     const NodePtr &root);
+                     NodeId root);
     void collectLiveStats(const ExecutionEngine &m, SiteProfile &site,
-                          const NodePtr &node, int depth_left,
-                          int &nodes_left);
+                          NodeId node, int depth_left, int &nodes_left);
 
     ProfilerConfig _config;
     DepTracker _tracker;

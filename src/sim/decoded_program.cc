@@ -1,0 +1,104 @@
+#include "sim/decoded_program.h"
+
+namespace amnesiac {
+
+namespace {
+
+/**
+ * Register operands execOne would actually touch for this opcode; the
+ * fast path indexes the register file without per-access asserts, so an
+ * instruction is fast-eligible only when every touched index is valid.
+ * The sets mirror execOne: ALU opcodes read rs1 *and* rs2 (even when
+ * numSources says fewer — evalAlu is always handed both registers).
+ */
+bool
+regsValid(const Instruction &instr)
+{
+    bool rd = instr.rd < kNumRegs;
+    bool rs1 = instr.rs1 < kNumRegs;
+    bool rs2 = instr.rs2 < kNumRegs;
+    switch (instr.op) {
+      case Opcode::Nop:
+      case Opcode::Jmp:
+      case Opcode::Halt:
+        return true;
+      case Opcode::Ld:
+        return rd && rs1;
+      case Opcode::St:
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+        return rs1 && rs2;
+      default:  // every ALU opcode
+        return rd && rs1 && rs2;
+    }
+}
+
+DispatchKind
+dispatchKindOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop:  return DispatchKind::Nop;
+      case Opcode::Li:   return DispatchKind::Li;
+      case Opcode::Mov:  return DispatchKind::Mov;
+      case Opcode::Add:  return DispatchKind::Add;
+      case Opcode::Sub:  return DispatchKind::Sub;
+      case Opcode::Mul:  return DispatchKind::Mul;
+      case Opcode::Divu: return DispatchKind::Divu;
+      case Opcode::And:  return DispatchKind::And;
+      case Opcode::Or:   return DispatchKind::Or;
+      case Opcode::Xor:  return DispatchKind::Xor;
+      case Opcode::Shl:  return DispatchKind::Shl;
+      case Opcode::Shr:  return DispatchKind::Shr;
+      case Opcode::Fadd: return DispatchKind::Fadd;
+      case Opcode::Fsub: return DispatchKind::Fsub;
+      case Opcode::Fmul: return DispatchKind::Fmul;
+      case Opcode::Fdiv: return DispatchKind::Fdiv;
+      case Opcode::Ld:   return DispatchKind::Ld;
+      case Opcode::St:   return DispatchKind::St;
+      case Opcode::Beq:  return DispatchKind::Beq;
+      case Opcode::Bne:  return DispatchKind::Bne;
+      case Opcode::Blt:  return DispatchKind::Blt;
+      case Opcode::Jmp:  return DispatchKind::Jmp;
+      case Opcode::Halt: return DispatchKind::Halt;
+      case Opcode::Rcmp:
+      case Opcode::Rec:
+      case Opcode::Rtn:  return DispatchKind::Amnesic;
+      default:           return DispatchKind::Generic;  // bad opcode byte
+    }
+}
+
+}  // namespace
+
+DecodedProgram::DecodedProgram(const Program &program,
+                               const EnergyModel &energy)
+{
+    _code.resize(program.code.size());
+    for (std::size_t pc = 0; pc < program.code.size(); ++pc) {
+        const Instruction &instr = program.code[pc];
+        DecodedInstr &d = _code[pc];
+        DispatchKind kind = dispatchKindOf(instr.op);
+        if (kind == DispatchKind::Generic || !regsValid(instr))
+            continue;  // slow path; execOne owns the diagnostics
+        d.kind = kind;
+        InstrCategory cat = categoryOf(instr.op);
+        d.cat = static_cast<std::uint8_t>(cat);
+        d.rd = instr.rd;
+        d.rs1 = instr.rs1;
+        d.rs2 = instr.rs2;
+        d.target = instr.target;
+        d.imm = instr.imm;
+        // Resolve the non-memory charge once: the same instrEnergy()
+        // call the seed interpreter made per dynamic instruction, so
+        // the precomputed double is bit-identical. Memory instructions
+        // charge per service level at access time instead. Branches
+        // charge InstrCategory::Branch and Halt charges Jump, exactly
+        // as execOne did.
+        if (cat != InstrCategory::Load && cat != InstrCategory::Store) {
+            d.nj = energy.instrEnergy(cat);
+            d.lat = energy.instrLatency(cat);
+        }
+    }
+}
+
+}  // namespace amnesiac

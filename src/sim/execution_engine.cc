@@ -1,6 +1,6 @@
 #include "sim/execution_engine.h"
 
-#include <bit>
+#include <string>
 
 #include "util/logging.h"
 
@@ -10,8 +10,8 @@ ExecutionEngine::ExecutionEngine(const Program &program,
                                  const EnergyModel &energy,
                                  const HierarchyConfig &hierarchy_config,
                                  ExecutionHooks *hooks)
-    : _program(program), _energy(energy), _hierarchy(hierarchy_config),
-      _memory(program.dataImage), _hooks(hooks)
+    : _program(program), _energy(energy), _decoded(_program, _energy),
+      _hierarchy(hierarchy_config), _memory(program.dataImage), _hooks(hooks)
 {
     AMNESIAC_ASSERT(!program.code.empty(), "empty program");
 }
@@ -19,13 +19,172 @@ ExecutionEngine::ExecutionEngine(const Program &program,
 void
 ExecutionEngine::run(std::uint64_t max_instrs)
 {
+    // Resolve the attached extension points once: each configuration
+    // gets a loop with the unused callback sites compiled out.
+    unsigned key = (_hooks ? 4u : 0u) | (_observer ? 2u : 0u) |
+                   (_fault_hook ? 1u : 0u);
+    switch (key) {
+      case 0: runLoop<false, false, false>(max_instrs); break;
+      case 1: runLoop<false, false, true>(max_instrs); break;
+      case 2: runLoop<false, true, false>(max_instrs); break;
+      case 3: runLoop<false, true, true>(max_instrs); break;
+      case 4: runLoop<true, false, false>(max_instrs); break;
+      case 5: runLoop<true, false, true>(max_instrs); break;
+      case 6: runLoop<true, true, false>(max_instrs); break;
+      case 7: runLoop<true, true, true>(max_instrs); break;
+    }
+}
+
+template <bool HasHooks, bool HasObserver, bool HasFault>
+void
+ExecutionEngine::runLoop(std::uint64_t max_instrs)
+{
+    const DecodedInstr *dcode = _decoded.data();
+    const Instruction *code = _program.code.data();
+    const auto code_size = static_cast<std::uint32_t>(_program.code.size());
     std::uint64_t executed = 0;
     while (!_halted) {
-        if (++executed > max_instrs)
+        // Same budget as the historical `if (++executed > max_instrs)`
+        // pre-step check: max_instrs dispatches are allowed (including
+        // the halting one), the fatal fires before dispatch max+1.
+        if (executed >= max_instrs)
             AMNESIAC_FATAL("program '" + _program.name +
                            "' exceeded the instruction limit — "
                            "likely an infinite loop");
-        step();
+        ++executed;
+        AMNESIAC_ASSERT(_pc < code_size, "pc out of range");
+        if (HasFault && _fault_hook)
+            _fault_hook->onStep(*this, _stats.dynInstrs);
+        const std::uint32_t pc = _pc;
+        const DecodedInstr &d = dcode[pc];
+        const Instruction &instr = code[pc];
+        if (HasObserver && _observer)
+            _observer->onExec(*this, pc, instr);
+        if (d.kind == DispatchKind::Generic) {
+            execOne(instr);  // slow path owns stats + diagnostics
+            continue;
+        }
+        ++_stats.dynInstrs;
+        ++_stats.perCategory[d.cat];
+        std::uint32_t next_pc = pc + 1;
+        switch (d.kind) {
+          case DispatchKind::Nop:
+            _stats.energy.nonMemNj += d.nj;
+            _stats.cycles += d.lat;
+            break;
+// Register indices were validated at decode time (else the instruction
+// would have decoded Generic), so the fast cases index _regs directly.
+// evalAlu with a compile-time opcode folds to the one operation.
+#define AMNESIAC_ALU_CASE(KIND, OP)                                          \
+          case DispatchKind::KIND:                                           \
+            _regs[d.rd] =                                                    \
+                evalAlu(Opcode::OP, _regs[d.rs1], _regs[d.rs2], d.imm);      \
+            _stats.energy.nonMemNj += d.nj;                                  \
+            _stats.cycles += d.lat;                                          \
+            break;
+          AMNESIAC_ALU_CASE(Li, Li)
+          AMNESIAC_ALU_CASE(Mov, Mov)
+          AMNESIAC_ALU_CASE(Add, Add)
+          AMNESIAC_ALU_CASE(Sub, Sub)
+          AMNESIAC_ALU_CASE(Mul, Mul)
+          AMNESIAC_ALU_CASE(Divu, Divu)
+          AMNESIAC_ALU_CASE(And, And)
+          AMNESIAC_ALU_CASE(Or, Or)
+          AMNESIAC_ALU_CASE(Xor, Xor)
+          AMNESIAC_ALU_CASE(Shl, Shl)
+          AMNESIAC_ALU_CASE(Shr, Shr)
+          AMNESIAC_ALU_CASE(Fadd, Fadd)
+          AMNESIAC_ALU_CASE(Fsub, Fsub)
+          AMNESIAC_ALU_CASE(Fmul, Fmul)
+          AMNESIAC_ALU_CASE(Fdiv, Fdiv)
+#undef AMNESIAC_ALU_CASE
+          case DispatchKind::Ld: {
+            std::uint64_t addr = _regs[d.rs1] +
+                                 static_cast<std::uint64_t>(d.imm);
+            if (addr % 8 != 0)
+                AMNESIAC_FATAL("unaligned 8-byte access at pc " +
+                               std::to_string(_pc));
+            HierarchyAccess access = _hierarchy.read(addr);
+            std::uint64_t word = addr / 8;
+            if (word >= _memory.size())
+                AMNESIAC_FATAL("load beyond data memory (addr " +
+                               std::to_string(addr) + ")");
+            std::uint64_t value = _memory[word];
+            _regs[d.rd] = value;
+            ++_stats.dynLoads;
+            _stats.energy.loadNj += _energy.loadEnergy(access.servicedBy);
+            _stats.cycles += _energy.loadLatency(access.servicedBy);
+            chargeWritebacks(access);
+            if (HasObserver && _observer)
+                _observer->onLoad(*this, pc, addr, value,
+                                  access.servicedBy);
+            break;
+          }
+          case DispatchKind::St: {
+            std::uint64_t addr = _regs[d.rs1] +
+                                 static_cast<std::uint64_t>(d.imm);
+            if (addr % 8 != 0)
+                AMNESIAC_FATAL("unaligned 8-byte access at pc " +
+                               std::to_string(_pc));
+            std::uint64_t value = _regs[d.rs2];
+            std::uint64_t word = addr / 8;
+            if (word >= _memory.size())
+                AMNESIAC_FATAL("store beyond data memory (addr " +
+                               std::to_string(addr) + ")");
+            _memory[word] = value;
+            HierarchyAccess access = _hierarchy.write(addr);
+            ++_stats.dynStores;
+            _stats.energy.storeNj += _energy.storeEnergy(access.servicedBy);
+            _stats.cycles += _energy.storeLatency(access.servicedBy);
+            chargeWritebacks(access);
+            if (HasObserver && _observer)
+                _observer->onStore(*this, pc, addr, value,
+                                   access.servicedBy);
+            break;
+          }
+          case DispatchKind::Beq:
+            if (_regs[d.rs1] == _regs[d.rs2])
+                next_pc = d.target;
+            _stats.energy.nonMemNj += d.nj;
+            _stats.cycles += d.lat;
+            break;
+          case DispatchKind::Bne:
+            if (_regs[d.rs1] != _regs[d.rs2])
+                next_pc = d.target;
+            _stats.energy.nonMemNj += d.nj;
+            _stats.cycles += d.lat;
+            break;
+          case DispatchKind::Blt:
+            if (static_cast<std::int64_t>(_regs[d.rs1]) <
+                static_cast<std::int64_t>(_regs[d.rs2]))
+                next_pc = d.target;
+            _stats.energy.nonMemNj += d.nj;
+            _stats.cycles += d.lat;
+            break;
+          case DispatchKind::Jmp:
+            next_pc = d.target;
+            _stats.energy.nonMemNj += d.nj;
+            _stats.cycles += d.lat;
+            break;
+          case DispatchKind::Halt:
+            _halted = true;
+            _stats.energy.nonMemNj += d.nj;
+            _stats.cycles += d.lat;
+            break;
+          case DispatchKind::Amnesic:
+            if constexpr (HasHooks) {
+                _hooks->execAmnesic(*this, instr);
+            } else {
+                AMNESIAC_FATAL(
+                    std::string("classic execution cannot handle "
+                                "amnesic opcode '") +
+                    std::string(mnemonic(instr.op)) + "'");
+            }
+            continue;  // the hook manages pc itself
+          case DispatchKind::Generic:
+            AMNESIAC_PANIC("runLoop: Generic handled above");
+        }
+        _pc = next_pc;
     }
 }
 
@@ -107,34 +266,6 @@ ExecutionEngine::performLoad(std::uint32_t pc, const Instruction &instr)
     return value;
 }
 
-std::uint64_t
-ExecutionEngine::evalAlu(Opcode op, std::uint64_t a, std::uint64_t b,
-                         std::int64_t imm)
-{
-    auto fp = [](std::uint64_t bits) { return std::bit_cast<double>(bits); };
-    auto fpBits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
-    switch (op) {
-      case Opcode::Li:   return static_cast<std::uint64_t>(imm);
-      case Opcode::Mov:  return a;
-      case Opcode::Add:  return a + b;
-      case Opcode::Sub:  return a - b;
-      case Opcode::Mul:  return a * b;
-      // Division by zero is defined as all-ones (no trap in this ISA).
-      case Opcode::Divu: return b ? a / b : ~0ull;
-      case Opcode::And:  return a & b;
-      case Opcode::Or:   return a | b;
-      case Opcode::Xor:  return a ^ b;
-      case Opcode::Shl:  return a << (b & 63);
-      case Opcode::Shr:  return a >> (b & 63);
-      case Opcode::Fadd: return fpBits(fp(a) + fp(b));
-      case Opcode::Fsub: return fpBits(fp(a) - fp(b));
-      case Opcode::Fmul: return fpBits(fp(a) * fp(b));
-      case Opcode::Fdiv: return fpBits(fp(a) / fp(b));
-      default:
-        AMNESIAC_PANIC("evalAlu: not an ALU opcode");
-    }
-}
-
 void
 ExecutionEngine::chargeNonMem(InstrCategory cat)
 {
@@ -145,9 +276,11 @@ ExecutionEngine::chargeNonMem(InstrCategory cat)
 void
 ExecutionEngine::chargeWritebacks(const HierarchyAccess &access)
 {
-    if (access.l1Writeback)
+    if (access.l1Writeback) {
+        ++_stats.l2WritebackInstalls;
         chargeEnergy(_energy.writebackEnergy(MemLevel::L2),
                      &EnergyBreakdown::storeNj);
+    }
     if (access.l2Writeback)
         chargeEnergy(_energy.writebackEnergy(MemLevel::Memory),
                      &EnergyBreakdown::storeNj);

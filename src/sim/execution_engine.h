@@ -16,13 +16,16 @@
 #define AMNESIAC_SIM_EXECUTION_ENGINE_H
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
 #include "energy/epi.h"
 #include "isa/program.h"
 #include "mem/hierarchy.h"
+#include "sim/decoded_program.h"
 #include "sim/stats.h"
+#include "util/logging.h"
 
 namespace amnesiac {
 
@@ -124,7 +127,17 @@ class ExecutionEngine
 
     /**
      * Run until HALT.
-     * @param max_instrs fatal runaway guard
+     *
+     * Dispatches through a predecoded fast loop specialized once for
+     * the attached extension points (hooks/observer/fault hook), so the
+     * bare classic and amnesic configurations pay no per-instruction
+     * null checks or virtual calls. Observable behavior is identical to
+     * calling step() until halted.
+     *
+     * @param max_instrs fatal runaway guard: at most max_instrs
+     *        instruction dispatches are allowed (including the halting
+     *        instruction); the run aborts before dispatching
+     *        instruction max_instrs + 1.
      */
     void run(std::uint64_t max_instrs = 1ull << 32);
 
@@ -138,6 +151,7 @@ class ExecutionEngine
     const MemoryHierarchy &hierarchy() const { return _hierarchy; }
     const EnergyModel &energyModel() const { return _energy; }
     const Program &program() const { return _program; }
+    const DecodedProgram &decoded() const { return _decoded; }
 
     /** Architectural register value. */
     std::uint64_t reg(Reg r) const { return readReg(r); }
@@ -154,6 +168,8 @@ class ExecutionEngine
     /**
      * Pure ALU evaluation of a sliceable opcode. Shared by execution,
      * the dependence tracker's mirroring, and dry-run slice evaluation.
+     * Defined inline below so call sites with a compile-time opcode
+     * (the predecoded dispatch loop) fold the switch away entirely.
      */
     static std::uint64_t evalAlu(Opcode op, std::uint64_t a,
                                  std::uint64_t b, std::int64_t imm);
@@ -171,6 +187,33 @@ class ExecutionEngine
 
     /** Charge a non-memory instruction's energy/latency. */
     void chargeNonMem(InstrCategory cat);
+    /**
+     * Charge the non-memory instruction at static `pc` using its
+     * predecoded cost — bit-identical to chargeNonMem(categoryOf(op))
+     * but without the per-charge table lookups. Falls back to the
+     * generic path (keeping the canonical Load/Store panic) when the
+     * instruction did not decode to a flat cost.
+     */
+    void chargeNonMemAt(std::uint32_t pc)
+    {
+        const DecodedInstr &d = _decoded.at(pc);
+        auto cat = static_cast<InstrCategory>(d.cat);
+        if (d.kind == DispatchKind::Generic || cat == InstrCategory::Load ||
+            cat == InstrCategory::Store) {
+            chargeNonMem(_program.code[pc].category());
+            return;
+        }
+        _stats.energy.nonMemNj += d.nj;
+        _stats.cycles += d.lat;
+    }
+    /** Accounting category of the instruction at static `pc`. */
+    InstrCategory decodedCategory(std::uint32_t pc) const
+    {
+        const DecodedInstr &d = _decoded.at(pc);
+        if (d.kind == DispatchKind::Generic)
+            return _program.code[pc].category();
+        return static_cast<InstrCategory>(d.cat);
+    }
     /** Charge writeback traffic of one hierarchy access. */
     void chargeWritebacks(const HierarchyAccess &access);
     /** Charge an explicit amount into a breakdown bucket. */
@@ -186,8 +229,17 @@ class ExecutionEngine
   private:
     void execOne(const Instruction &instr);
 
+    /**
+     * The predecoded run loop, specialized at run() entry for the
+     * extension points actually attached so the common configurations
+     * carry no dead per-instruction branches.
+     */
+    template <bool HasHooks, bool HasObserver, bool HasFault>
+    void runLoop(std::uint64_t max_instrs);
+
     Program _program;
     EnergyModel _energy;
+    DecodedProgram _decoded;
     MemoryHierarchy _hierarchy;
     std::array<std::uint64_t, kNumRegs> _regs{};
     std::vector<std::uint64_t> _memory;
@@ -198,6 +250,34 @@ class ExecutionEngine
     ExecutionHooks *_hooks = nullptr;
     EngineFaultHook *_fault_hook = nullptr;
 };
+
+inline std::uint64_t
+ExecutionEngine::evalAlu(Opcode op, std::uint64_t a, std::uint64_t b,
+                         std::int64_t imm)
+{
+    auto fp = [](std::uint64_t bits) { return std::bit_cast<double>(bits); };
+    auto fpBits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+    switch (op) {
+      case Opcode::Li:   return static_cast<std::uint64_t>(imm);
+      case Opcode::Mov:  return a;
+      case Opcode::Add:  return a + b;
+      case Opcode::Sub:  return a - b;
+      case Opcode::Mul:  return a * b;
+      // Division by zero is defined as all-ones (no trap in this ISA).
+      case Opcode::Divu: return b ? a / b : ~0ull;
+      case Opcode::And:  return a & b;
+      case Opcode::Or:   return a | b;
+      case Opcode::Xor:  return a ^ b;
+      case Opcode::Shl:  return a << (b & 63);
+      case Opcode::Shr:  return a >> (b & 63);
+      case Opcode::Fadd: return fpBits(fp(a) + fp(b));
+      case Opcode::Fsub: return fpBits(fp(a) - fp(b));
+      case Opcode::Fmul: return fpBits(fp(a) * fp(b));
+      case Opcode::Fdiv: return fpBits(fp(a) / fp(b));
+      default:
+        AMNESIAC_PANIC("evalAlu: not an ALU opcode");
+    }
+}
 
 }  // namespace amnesiac
 

@@ -33,6 +33,13 @@ SimStats::summary(const EnergyModel &model) const
     os << line;
     std::snprintf(line, sizeof(line), "  EDP: %.4g J*s\n", edp(model));
     os << line;
+    if (l2WritebackInstalls > 0) {
+        std::snprintf(line, sizeof(line),
+                      "  write-backs: %llu dirty L1 victims installed "
+                      "into L2\n",
+                      static_cast<unsigned long long>(l2WritebackInstalls));
+        os << line;
+    }
     if (rcmpSeen > 0) {
         std::snprintf(line, sizeof(line),
                       "  amnesic: %llu RCMPs -> %llu recomputations, "

@@ -39,6 +39,8 @@ struct SimStats
     std::uint64_t dynLoads = 0;      ///< loads actually performed
     std::uint64_t dynStores = 0;
     std::uint64_t cycles = 0;
+    /** Dirty L1 victims installed into L2 (write-back traffic). */
+    std::uint64_t l2WritebackInstalls = 0;
     EnergyBreakdown energy;
     std::array<std::uint64_t,
                static_cast<std::size_t>(InstrCategory::NumCategories)>

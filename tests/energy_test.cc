@@ -82,6 +82,39 @@ TEST(EnergyModel, DefaultRMatchesPaper)
     EXPECT_NEAR(m.ratioR(), 0.45 / m.loadEnergy(MemLevel::Memory), 1e-12);
 }
 
+TEST(EnergyModel, TablesMatchReferenceModelExactly)
+{
+    // The hot-path accessors are flat-table lookups built from the
+    // switch-based *Ref() derivations at construction; every enumerator
+    // must agree bit-for-bit, including under a non-default R scale
+    // (the tables must be rebuilt, not copied, by withNonMemScale).
+    EnergyModel base;
+    for (const EnergyModel &m : {base, base.withNonMemScale(2.5)}) {
+        for (std::size_t c = 0;
+             c < static_cast<std::size_t>(InstrCategory::NumCategories);
+             ++c) {
+            auto cat = static_cast<InstrCategory>(c);
+            if (cat == InstrCategory::Load || cat == InstrCategory::Store)
+                continue;  // no flat cost: rejected by the reference too
+            EXPECT_EQ(m.instrEnergy(cat), m.instrEnergyRef(cat));
+            EXPECT_EQ(m.instrLatency(cat), m.instrLatencyRef(cat));
+        }
+        for (MemLevel level : {MemLevel::L1, MemLevel::L2,
+                               MemLevel::Memory}) {
+            EXPECT_EQ(m.loadEnergy(level), m.loadEnergyRef(level));
+            EXPECT_EQ(m.loadLatency(level), m.loadLatencyRef(level));
+            EXPECT_EQ(m.storeEnergy(level), m.storeEnergyRef(level));
+            EXPECT_EQ(m.storeLatency(level), m.storeLatencyRef(level));
+        }
+        for (MemLevel into : {MemLevel::L2, MemLevel::Memory})
+            EXPECT_EQ(m.writebackEnergy(into), m.writebackEnergyRef(into));
+        for (MemLevel down_to : {MemLevel::L1, MemLevel::L2}) {
+            EXPECT_EQ(m.probeEnergy(down_to), m.probeEnergyRef(down_to));
+            EXPECT_EQ(m.probeLatency(down_to), m.probeLatencyRef(down_to));
+        }
+    }
+}
+
 TEST(EnergyModel, CyclesToSeconds)
 {
     EnergyModel m;

@@ -71,8 +71,8 @@ TEST(Profiler, CapturesProducerTreeAndLiveOperands)
     EXPECT_DOUBLE_EQ(site->stability(), 1.0);
     const CandidateTree *top = site->topTree();
     ASSERT_NE(top, nullptr);
-    ASSERT_TRUE(top->representative);
-    EXPECT_EQ(top->representative->pc, add_pc);
+    ASSERT_NE(top->representative, kNoNode);
+    EXPECT_EQ(profiler.tracker().node(top->representative).pc, add_pc);
     // Both operands of the producer read r2, which still holds x = 5.
     auto it = site->operandLive.find(operandKey(add_pc, 0));
     ASSERT_NE(it, site->operandLive.end());
