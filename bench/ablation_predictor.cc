@@ -1,15 +1,24 @@
 /**
  * @file
- * Ablation: the §3.3.1 future-work miss-predictor policy. "Better
- * amnesic policies can be devised by using more accurate (miss)
- * predictors, which can also help eliminate the probing overhead" —
- * a per-site 2-bit predictor should match FLC's firing decisions on
- * stable sites while never paying for a probe.
+ * Ablation: branch-direction predictors under the pipelined timing
+ * backend. The §3.3.1 future-work note asks for "more accurate
+ * predictors"; with cycle accounting now pluggable (src/timing/) the
+ * question becomes measurable: sweep the three direction predictors
+ * (always-not-taken, bimodal 2-bit, gshare) over the paper suite and
+ * report each one's accuracy, the cycles it burns on mispredict
+ * flushes, how far it inflates the classic cycle count over the scalar
+ * golden model, and what that does to the FLC policy's EDP gain.
+ *
+ * Because the backends share base latencies (the additive contract in
+ * src/timing/timing.h), every EDP difference between rows is purely
+ * hazard cycles — energy is bit-identical across all twelve
+ * (workload x predictor) runs of a row group.
  */
 
 #include <cstdio>
 
 #include "common.h"
+#include "timing/predictor.h"
 #include "util/table.h"
 
 int
@@ -19,36 +28,57 @@ main(int argc, char **argv)
     bench::BenchArgs args = bench::parseArgs(argc, argv);
     bench::rejectObsArgs(args, argv[0]);
     ExperimentConfig config = args.config;
-    bench::banner("Ablation: predictor policy vs FLC/LLC", config);
+    bench::banner("Ablation: branch predictors (pipelined timing)",
+                  config);
 
-    Table table({"bench", "FLC EDP %", "LLC EDP %", "Predictor EDP %",
-                 "mispredict %"});
-    ExperimentRunner runner(config);
+    Table table({"bench", "predictor", "accuracy %", "mispredict cyc",
+                 "cycle infl %", "FLC EDP %"});
     for (const std::string &name : paperBenchmarkNames()) {
         std::fprintf(stderr, "  [predictor] %s...\n", name.c_str());
         Workload w = makePaperBenchmark(name, args.seed);
-        BenchmarkResult r = runner.run(
-            w, {Policy::FLC, Policy::LLC, Policy::Predictor});
-        // Re-run once more to read the predictor's accuracy counters.
-        AmnesicConfig amnesic = config.amnesic;
-        amnesic.policy = Policy::Predictor;
-        AmnesicMachine machine(r.compiled.program, runner.energyModel(),
-                               amnesic, config.hierarchy);
-        machine.run();
-        table.row()
-            .cell(name)
-            .cell(r.byPolicy(Policy::FLC)->edpGainPct, 2)
-            .cell(r.byPolicy(Policy::LLC)->edpGainPct, 2)
-            .cell(r.byPolicy(Policy::Predictor)->edpGainPct, 2)
-            .cell(100.0 * machine.predictor().mispredictionRate(), 2);
+
+        // Scalar golden baseline for the inflation column.
+        ExperimentConfig scalar_config = config;
+        scalar_config.timing = TimingConfig{};
+        SimStats scalar_classic =
+            ExperimentRunner(scalar_config).runClassic(w.program);
+
+        for (PredictorKind kind : kAllPredictorKinds) {
+            ExperimentConfig pipelined = config;
+            pipelined.timing.backend = TimingBackend::Pipelined;
+            pipelined.timing.predictor = kind;
+            ExperimentRunner runner(pipelined);
+            BenchmarkResult r = runner.run(w, {Policy::FLC});
+            const SimStats &classic = r.classic;
+            double inflation =
+                100.0 *
+                (static_cast<double>(classic.cycles) -
+                 static_cast<double>(scalar_classic.cycles)) /
+                static_cast<double>(scalar_classic.cycles);
+            table.row()
+                .cell(name)
+                .cell(std::string(predictorKindName(kind)))
+                .cell(100.0 * classic.branchPredictionAccuracy(), 2)
+                .cell(static_cast<long long>(
+                    classic.mispredictFlushCycles))
+                .cell(inflation, 3)
+                .cell(r.byPolicy(Policy::FLC)->edpGainPct, 2);
+        }
     }
     std::printf("%s\n", table.render().c_str());
     std::printf(
-        "Reading: on sites with stable residence (mcf, ca) the predictor\n"
-        "matches FLC's decisions and beats it by the probe cost. Where\n"
-        "residence is effectively random per access (hot/cold mixtures),\n"
-        "a pc-indexed 2-bit counter mispredicts 20-45%% of the time and\n"
-        "loses - evidence that the \"more accurate predictors\" of\n"
-        "section 3.3.1 need address-based, not site-based, indexing.\n");
+        "Reading: the suite's kernels loop with strongly biased\n"
+        "backward branches, so bimodal converges to near-perfect\n"
+        "accuracy after one trip and gshare matches it on the\n"
+        "monomorphic majority (history bits buy nothing there; on\n"
+        "small tables they cost a little to aliasing). Where inner\n"
+        "branches correlate - sr's short stencil inner loops - gshare\n"
+        "pulls well ahead of bimodal. Always-not-taken mispredicts\n"
+        "every loop-back edge, and the flush cycles it adds inflate\n"
+        "classic and amnesic cycle counts alike - the FLC EDP column\n"
+        "moves only by the (small) asymmetry between how many branches\n"
+        "each side retires, which is the honest answer: recomputation\n"
+        "neither hides nor amplifies branch cost in an in-order\n"
+        "pipeline.\n");
     return 0;
 }

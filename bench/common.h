@@ -43,6 +43,10 @@ struct BenchArgs
  *                       (0 = hardware_concurrency, 1 = serial; default 0)
  *   --seed <n>          workload seed (default 1)
  *   --scale <x>         non-memory EPI scale, the §5.5 R knob
+ *   --timing <b>        cycle-accounting backend: scalar | pipelined
+ *                       (default scalar, the historical golden model)
+ *   --predictor <p>     branch predictor for the pipelined backend:
+ *                       nottaken | bimodal | gshare (default bimodal)
  *   --trace <path>      write a Chrome/Perfetto trace of the run
  *   --site-report <path> write the ranked per-RCMP-site report
  *   --metrics <path>    write Prometheus metrics for the run
@@ -84,6 +88,24 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--scale") {
             args.config.energy.nonMemScale =
                 std::strtod(next().c_str(), nullptr);
+        } else if (arg == "--timing") {
+            std::string name = next();
+            if (!parseTimingBackend(name, args.config.timing.backend)) {
+                std::fprintf(stderr,
+                             "%s: unknown timing backend '%s' "
+                             "(scalar | pipelined)\n",
+                             argv[0], name.c_str());
+                std::exit(2);
+            }
+        } else if (arg == "--predictor") {
+            std::string name = next();
+            if (!parsePredictorKind(name, args.config.timing.predictor)) {
+                std::fprintf(stderr,
+                             "%s: unknown predictor '%s' "
+                             "(nottaken | bimodal | gshare)\n",
+                             argv[0], name.c_str());
+                std::exit(2);
+            }
         } else if (arg == "--trace") {
             args.tracePath = next();
         } else if (arg == "--site-report") {
@@ -96,7 +118,9 @@ parseArgs(int argc, char **argv)
         } else {
             std::fprintf(stderr,
                          "usage: %s [--jobs <n>] [--seed <n>] "
-                         "[--scale <x>] [--trace <path>] "
+                         "[--scale <x>] [--timing <scalar|pipelined>] "
+                         "[--predictor <nottaken|bimodal|gshare>] "
+                         "[--trace <path>] "
                          "[--site-report <path>] [--metrics <path>] "
                          "[--max-records <n>]\n",
                          argv[0]);

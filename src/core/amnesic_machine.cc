@@ -7,9 +7,10 @@ namespace amnesiac {
 AmnesicMachine::AmnesicMachine(const Program &program,
                                const EnergyModel &energy,
                                const AmnesicConfig &config,
-                               const HierarchyConfig &hierarchy_config)
+                               const HierarchyConfig &hierarchy_config,
+                               const TimingConfig &timing)
     : Machine(program, energy, hierarchy_config,
-              static_cast<ExecutionHooks *>(this)),
+              static_cast<ExecutionHooks *>(this), timing),
       _config(config), _sfile(config.sfileCapacity),
       _hist(config.histCapacity), _ibuff(config.ibuffCapacity),
       _predictor(config.predictorLogEntries)
@@ -107,7 +108,8 @@ AmnesicMachine::execRec(const Instruction &instr)
     // bucket so Table 4's breakdown reflects the checkpoint traffic.
     e.chargeEnergy(e.energyModel().instrEnergy(InstrCategory::Rec),
                    &EnergyBreakdown::storeNj);
-    e.chargeCycles(e.energyModel().instrLatency(InstrCategory::Rec));
+    e.chargeCycles(
+        e.timingModel().instrLatency(e.energyModel(), InstrCategory::Rec));
 
     std::uint64_t v0 = e.readReg(instr.rs1);
     std::uint64_t v1 = e.readReg(instr.rs2);

@@ -198,7 +198,8 @@ class AmnesicMachine : public Machine, private ExecutionHooks
   public:
     AmnesicMachine(const Program &program, const EnergyModel &energy,
                    const AmnesicConfig &config = {},
-                   const HierarchyConfig &hierarchy_config = {});
+                   const HierarchyConfig &hierarchy_config = {},
+                   const TimingConfig &timing = {});
 
     const SFile &sfile() const { return _sfile; }
     const Hist &hist() const { return _hist; }

@@ -54,8 +54,8 @@ CostModel::runtimeRecomputeLatency(const RSlice &slice) const
 {
     std::uint64_t cycles = 0;
     for (const SliceInstr &instr : slice.instrs)
-        cycles += _energy->instrLatency(categoryOf(instr.op));
-    cycles += _energy->instrLatency(InstrCategory::Rtn);
+        cycles += baseLatency(categoryOf(instr.op));
+    cycles += baseLatency(InstrCategory::Rtn);
     return cycles;
 }
 

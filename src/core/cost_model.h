@@ -11,6 +11,7 @@
 #include "core/rslice.h"
 #include "energy/epi.h"
 #include "profile/profiler.h"
+#include "timing/timing.h"
 
 namespace amnesiac {
 
@@ -21,7 +22,20 @@ namespace amnesiac {
 class CostModel
 {
   public:
-    explicit CostModel(const EnergyModel &energy) : _energy(&energy) {}
+    /**
+     * @param timing optional cycle-accounting backend latency queries
+     *        route through (src/timing). Null = the EnergyModel's base
+     *        latencies directly, which every backend shares by the
+     *        additive-hazard contract — the compiler's break-even
+     *        analysis deliberately reasons about the base model, since
+     *        hazard cycles are a dynamic property no static estimate
+     *        can attribute to one slice.
+     */
+    explicit CostModel(const EnergyModel &energy,
+                       const TimingModel *timing = nullptr)
+        : _energy(&energy), _timing(timing)
+    {
+    }
 
     /**
      * Eld(v): sum over levels of Pr_Li × EPI of a load serviced at Li
@@ -63,7 +77,16 @@ class CostModel
     const EnergyModel &energy() const { return *_energy; }
 
   private:
+    /** Base latency of one non-memory instruction, routed through the
+     * attached timing backend when one is present. */
+    std::uint32_t baseLatency(InstrCategory cat) const
+    {
+        return _timing ? _timing->instrLatency(*_energy, cat)
+                       : _energy->instrLatency(cat);
+    }
+
     const EnergyModel *_energy;
+    const TimingModel *_timing;
 };
 
 }  // namespace amnesiac

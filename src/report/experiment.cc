@@ -56,7 +56,8 @@ ExperimentRunner::ExperimentRunner(const ExperimentConfig &config)
 SimStats
 ExperimentRunner::runClassic(const Program &program) const
 {
-    Machine machine(program, energyModel(), _config.hierarchy);
+    Machine machine(program, energyModel(), _config.hierarchy,
+                    _config.timing);
     machine.run(_config.runLimit);
     return machine.stats();
 }
@@ -67,7 +68,7 @@ ExperimentRunner::runAmnesic(const Program &program, Policy policy) const
     AmnesicConfig amnesic = _config.amnesic;
     amnesic.policy = policy;
     AmnesicMachine machine(program, energyModel(), amnesic,
-                           _config.hierarchy);
+                           _config.hierarchy, _config.timing);
     machine.run(_config.runLimit);
     return machine.stats();
 }
@@ -156,6 +157,18 @@ ExperimentRunner::canonicalConfigString(const ExperimentConfig &config)
 
     u64("runLimit", config.runLimit);
     u64("seed", config.seed);
+
+    // Timing backend (appended after the original fields per the
+    // append-only rule). Without these, scalar and pipelined runs of
+    // the same workload would collide on one digest — the exact
+    // provenance bug the RunManifest exists to prevent.
+    const TimingConfig &t = config.timing;
+    u64("timingBackend", static_cast<std::uint64_t>(t.backend));
+    u64("branchPred", static_cast<std::uint64_t>(t.predictor));
+    u64("branchPredLog", t.predictorLogEntries);
+    u64("loadUseStall", t.loadUseStallCycles);
+    u64("mispredictPenalty", t.mispredictPenaltyCycles);
+    u64("jumpBubble", t.jumpBubbleCycles);
     return out;
 }
 
@@ -258,7 +271,8 @@ ExperimentRunner::runPolicy(const BenchmarkResult &prepared,
 
     AmnesicConfig amnesic = _config.amnesic;
     amnesic.policy = policy;
-    AmnesicMachine machine(binary, energy, amnesic, _config.hierarchy);
+    AmnesicMachine machine(binary, energy, amnesic, _config.hierarchy,
+                           _config.timing);
 
     // Site attribution always rides along (an aggregation, cheap);
     // the event tracer only when asked for. Both are passive — the

@@ -31,6 +31,9 @@ struct ExperimentConfig
     HierarchyConfig hierarchy;
     CompilerConfig compiler;
     AmnesicConfig amnesic;
+    /** Cycle-accounting backend every simulation (classic and amnesic)
+     * runs under; default scalar is the historical golden model. */
+    TimingConfig timing;
     std::uint64_t runLimit = 1ull << 32;
     /**
      * Worker threads for the experiment pipeline: the (workload ×

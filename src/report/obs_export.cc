@@ -29,6 +29,33 @@ labeled(const char *name, const std::string &workload,
     return out;
 }
 
+/** The pipelined backend's hazard counters for one run (all zero under
+ * the scalar backend — exported anyway so dashboards can difference
+ * backends without schema changes). */
+void
+fillPipelineMetrics(MetricsRegistry &metrics, const std::string &workload,
+                    std::string_view policy, const SimStats &s)
+{
+    metrics.counterAdd(
+        labeled("amnesiac_load_use_stalls_total", workload, policy),
+        static_cast<double>(s.loadUseStalls));
+    metrics.counterAdd(
+        labeled("amnesiac_control_bubbles_total", workload, policy),
+        static_cast<double>(s.controlBubbles));
+    metrics.counterAdd(
+        labeled("amnesiac_mispredict_flushes_total", workload, policy),
+        static_cast<double>(s.mispredictFlushes));
+    metrics.counterAdd(
+        labeled("amnesiac_predictor_hits_total", workload, policy),
+        static_cast<double>(s.predictorHits));
+    metrics.counterAdd(
+        labeled("amnesiac_predictor_misses_total", workload, policy),
+        static_cast<double>(s.predictorMisses));
+    metrics.counterAdd(
+        labeled("amnesiac_hazard_cycles_total", workload, policy),
+        static_cast<double>(s.hazardCycles()));
+}
+
 }  // namespace
 
 std::vector<TraceTrack>
@@ -115,6 +142,7 @@ fillMetrics(MetricsRegistry &metrics,
             static_cast<double>(result.classic.dynInstrs));
         metrics.gaugeSet(labeled("amnesiac_energy_nj", w, "classic"),
                          result.classic.energyNj());
+        fillPipelineMetrics(metrics, w, "classic", result.classic);
 
         for (const PolicyOutcome &o : result.policies) {
             std::string_view p = policyName(o.policy);
@@ -140,6 +168,7 @@ fillMetrics(MetricsRegistry &metrics,
             metrics.counterAdd(
                 labeled("amnesiac_shadow_mismatches_total", w, p),
                 static_cast<double>(s.recomputeMismatches));
+            fillPipelineMetrics(metrics, w, p, s);
             metrics.gaugeSet(labeled("amnesiac_energy_nj", w, p),
                              s.energyNj());
             metrics.gaugeSet(labeled("amnesiac_edp_gain_pct", w, p),

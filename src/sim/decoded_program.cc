@@ -1,5 +1,7 @@
 #include "sim/decoded_program.h"
 
+#include "timing/timing.h"
+
 namespace amnesiac {
 
 namespace {
@@ -71,7 +73,8 @@ dispatchKindOf(Opcode op)
 }  // namespace
 
 DecodedProgram::DecodedProgram(const Program &program,
-                               const EnergyModel &energy)
+                               const EnergyModel &energy,
+                               const TimingModel &timing)
 {
     _code.resize(program.code.size());
     for (std::size_t pc = 0; pc < program.code.size(); ++pc) {
@@ -90,13 +93,15 @@ DecodedProgram::DecodedProgram(const Program &program,
         d.imm = instr.imm;
         // Resolve the non-memory charge once: the same instrEnergy()
         // call the seed interpreter made per dynamic instruction, so
-        // the precomputed double is bit-identical. Memory instructions
-        // charge per service level at access time instead. Branches
-        // charge InstrCategory::Branch and Halt charges Jump, exactly
-        // as execOne did.
+        // the precomputed double is bit-identical. The base latency
+        // resolves through the timing backend (both backends share the
+        // EnergyModel base; the pipelined one adds hazard cycles at
+        // retirement instead). Memory instructions charge per service
+        // level at access time. Branches charge InstrCategory::Branch
+        // and Halt charges Jump, exactly as execOne did.
         if (cat != InstrCategory::Load && cat != InstrCategory::Store) {
             d.nj = energy.instrEnergy(cat);
-            d.lat = energy.instrLatency(cat);
+            d.lat = timing.instrLatency(energy, cat);
         }
     }
 }

@@ -27,6 +27,8 @@
 
 namespace amnesiac {
 
+class TimingModel;
+
 /**
  * Dense dispatch kind. One enumerator per fast-path opcode, plus:
  *  - Amnesic: Rcmp/Rec/Rtn, delegated to the ExecutionHooks strategy
@@ -61,14 +63,16 @@ struct DecodedInstr
 };
 
 /**
- * The decoded side-structure. Built once from a Program and the
- * engine's EnergyModel; immutable afterwards (the engine's program is
- * immutable too, so the two can never diverge).
+ * The decoded side-structure. Built once from a Program, the engine's
+ * EnergyModel and its TimingModel (base latencies resolve through the
+ * backend — src/timing); immutable afterwards (the engine's program is
+ * immutable too, so the three can never diverge).
  */
 class DecodedProgram
 {
   public:
-    DecodedProgram(const Program &program, const EnergyModel &energy);
+    DecodedProgram(const Program &program, const EnergyModel &energy,
+                   const TimingModel &timing);
 
     const DecodedInstr &at(std::uint32_t pc) const { return _code[pc]; }
     const DecodedInstr *data() const { return _code.data(); }

@@ -9,9 +9,15 @@ namespace amnesiac {
 ExecutionEngine::ExecutionEngine(const Program &program,
                                  const EnergyModel &energy,
                                  const HierarchyConfig &hierarchy_config,
-                                 ExecutionHooks *hooks)
-    : _program(program), _energy(energy), _decoded(_program, _energy),
-      _hierarchy(hierarchy_config), _memory(program.dataImage), _hooks(hooks)
+                                 ExecutionHooks *hooks,
+                                 const TimingConfig &timing)
+    : _program(program), _energy(energy), _timing_config(timing),
+      _timing(makeTimingModel(timing)),
+      _pipe(timing.backend == TimingBackend::Pipelined
+                ? static_cast<PipelinedTimingModel *>(_timing.get())
+                : nullptr),
+      _decoded(_program, _energy, *_timing), _hierarchy(hierarchy_config),
+      _memory(program.dataImage), _hooks(hooks)
 {
     AMNESIAC_ASSERT(!program.code.empty(), "empty program");
 }
@@ -19,23 +25,32 @@ ExecutionEngine::ExecutionEngine(const Program &program,
 void
 ExecutionEngine::run(std::uint64_t max_instrs)
 {
-    // Resolve the attached extension points once: each configuration
-    // gets a loop with the unused callback sites compiled out.
-    unsigned key = (_hooks ? 4u : 0u) | (_observer ? 2u : 0u) |
-                   (_fault_hook ? 1u : 0u);
+    // Resolve the attached extension points and the timing backend
+    // once: each configuration gets a loop with the unused callback
+    // sites compiled out.
+    unsigned key = (_pipe ? 8u : 0u) | (_hooks ? 4u : 0u) |
+                   (_observer ? 2u : 0u) | (_fault_hook ? 1u : 0u);
     switch (key) {
-      case 0: runLoop<false, false, false>(max_instrs); break;
-      case 1: runLoop<false, false, true>(max_instrs); break;
-      case 2: runLoop<false, true, false>(max_instrs); break;
-      case 3: runLoop<false, true, true>(max_instrs); break;
-      case 4: runLoop<true, false, false>(max_instrs); break;
-      case 5: runLoop<true, false, true>(max_instrs); break;
-      case 6: runLoop<true, true, false>(max_instrs); break;
-      case 7: runLoop<true, true, true>(max_instrs); break;
+      case 0:  runLoop<false, false, false, false>(max_instrs); break;
+      case 1:  runLoop<false, false, true,  false>(max_instrs); break;
+      case 2:  runLoop<false, true,  false, false>(max_instrs); break;
+      case 3:  runLoop<false, true,  true,  false>(max_instrs); break;
+      case 4:  runLoop<true,  false, false, false>(max_instrs); break;
+      case 5:  runLoop<true,  false, true,  false>(max_instrs); break;
+      case 6:  runLoop<true,  true,  false, false>(max_instrs); break;
+      case 7:  runLoop<true,  true,  true,  false>(max_instrs); break;
+      case 8:  runLoop<false, false, false, true>(max_instrs); break;
+      case 9:  runLoop<false, false, true,  true>(max_instrs); break;
+      case 10: runLoop<false, true,  false, true>(max_instrs); break;
+      case 11: runLoop<false, true,  true,  true>(max_instrs); break;
+      case 12: runLoop<true,  false, false, true>(max_instrs); break;
+      case 13: runLoop<true,  false, true,  true>(max_instrs); break;
+      case 14: runLoop<true,  true,  false, true>(max_instrs); break;
+      case 15: runLoop<true,  true,  true,  true>(max_instrs); break;
     }
 }
 
-template <bool HasHooks, bool HasObserver, bool HasFault>
+template <bool HasHooks, bool HasObserver, bool HasFault, bool Pipelined>
 void
 ExecutionEngine::runLoop(std::uint64_t max_instrs)
 {
@@ -61,7 +76,11 @@ ExecutionEngine::runLoop(std::uint64_t max_instrs)
         if (HasObserver && _observer)
             _observer->onExec(*this, pc, instr);
         if (d.kind == DispatchKind::Generic) {
-            execOne(instr);  // slow path owns stats + diagnostics
+            // The slow path owns stats + diagnostics; it is outside the
+            // plain in-order stream, so the pipeline state resets.
+            if constexpr (Pipelined)
+                _pipe->onPipelineBreak();
+            execOne(instr);
             continue;
         }
         ++_stats.dynInstrs;
@@ -172,6 +191,11 @@ ExecutionEngine::runLoop(std::uint64_t max_instrs)
             _stats.cycles += d.lat;
             break;
           case DispatchKind::Amnesic:
+            // The §3.3 scheduler charges its own costs (probe, slice
+            // replay, fallback load); the pipeline treats the whole
+            // episode as a break in the plain in-order stream.
+            if constexpr (Pipelined)
+                _pipe->onPipelineBreak();
             if constexpr (HasHooks) {
                 _hooks->execAmnesic(*this, instr);
             } else {
@@ -184,6 +208,8 @@ ExecutionEngine::runLoop(std::uint64_t max_instrs)
           case DispatchKind::Generic:
             AMNESIAC_PANIC("runLoop: Generic handled above");
         }
+        if constexpr (Pipelined)
+            _pipe->onRetire(_stats, d, pc, next_pc);
         _pc = next_pc;
     }
 }
@@ -199,7 +225,21 @@ ExecutionEngine::step()
     const Instruction &instr = _program.code[_pc];
     if (_observer)
         _observer->onExec(*this, _pc, instr);
+    const std::uint32_t pc_before = _pc;
     execOne(instr);
+    if (_pipe) {
+        // Mirror the run loop's event order exactly: fast-path kinds
+        // retire with their resolved successor, amnesic episodes and
+        // slow-path instructions break the pipeline. (onPipelineBreak
+        // only drops cross-instruction hazard state, so break-before
+        // and break-after the episode are equivalent.)
+        const DecodedInstr &d = _decoded.at(pc_before);
+        if (d.kind == DispatchKind::Amnesic ||
+            d.kind == DispatchKind::Generic)
+            _pipe->onPipelineBreak();
+        else
+            _pipe->onRetire(_stats, d, pc_before, _pc);
+    }
     return !_halted;
 }
 
@@ -259,7 +299,7 @@ ExecutionEngine::performLoad(std::uint32_t pc, const Instruction &instr)
     ++_stats.dynLoads;
     chargeEnergy(_energy.loadEnergy(access.servicedBy),
                  &EnergyBreakdown::loadNj);
-    chargeCycles(_energy.loadLatency(access.servicedBy));
+    chargeCycles(_timing->loadLatency(_energy, access.servicedBy));
     chargeWritebacks(access);
     if (_observer)
         _observer->onLoad(*this, pc, addr, value, access.servicedBy);
@@ -270,7 +310,7 @@ void
 ExecutionEngine::chargeNonMem(InstrCategory cat)
 {
     chargeEnergy(_energy.instrEnergy(cat), &EnergyBreakdown::nonMemNj);
-    chargeCycles(_energy.instrLatency(cat));
+    chargeCycles(_timing->instrLatency(_energy, cat));
 }
 
 void
@@ -334,7 +374,7 @@ ExecutionEngine::execOne(const Instruction &instr)
         ++_stats.dynStores;
         chargeEnergy(_energy.storeEnergy(access.servicedBy),
                      &EnergyBreakdown::storeNj);
-        chargeCycles(_energy.storeLatency(access.servicedBy));
+        chargeCycles(_timing->storeLatency(_energy, access.servicedBy));
         chargeWritebacks(access);
         if (_observer)
             _observer->onStore(*this, _pc, addr, value,

@@ -20,11 +20,14 @@
 #include <cstdint>
 #include <vector>
 
+#include <memory>
+
 #include "energy/epi.h"
 #include "isa/program.h"
 #include "mem/hierarchy.h"
 #include "sim/decoded_program.h"
 #include "sim/stats.h"
+#include "timing/timing.h"
 #include "util/logging.h"
 
 namespace amnesiac {
@@ -120,10 +123,13 @@ class ExecutionEngine
      * @param energy cost model
      * @param hierarchy_config data-cache geometry
      * @param hooks amnesic-opcode handler; nullptr = classic execution
+     * @param timing cycle-accounting backend (src/timing); the default
+     *        scalar backend reproduces the historical model exactly
      */
     ExecutionEngine(const Program &program, const EnergyModel &energy,
                     const HierarchyConfig &hierarchy_config = {},
-                    ExecutionHooks *hooks = nullptr);
+                    ExecutionHooks *hooks = nullptr,
+                    const TimingConfig &timing = {});
 
     /**
      * Run until HALT.
@@ -152,6 +158,8 @@ class ExecutionEngine
     const EnergyModel &energyModel() const { return _energy; }
     const Program &program() const { return _program; }
     const DecodedProgram &decoded() const { return _decoded; }
+    const TimingModel &timingModel() const { return *_timing; }
+    const TimingConfig &timingConfig() const { return _timing_config; }
 
     /** Architectural register value. */
     std::uint64_t reg(Reg r) const { return readReg(r); }
@@ -231,14 +239,23 @@ class ExecutionEngine
 
     /**
      * The predecoded run loop, specialized at run() entry for the
-     * extension points actually attached so the common configurations
-     * carry no dead per-instruction branches.
+     * extension points actually attached (hooks/observer/fault hook)
+     * and the timing backend, so the common configurations carry no
+     * dead per-instruction branches — in particular the scalar fast
+     * path compiles out the retirement-event calls entirely.
      */
-    template <bool HasHooks, bool HasObserver, bool HasFault>
+    template <bool HasHooks, bool HasObserver, bool HasFault,
+              bool Pipelined>
     void runLoop(std::uint64_t max_instrs);
 
     Program _program;
     EnergyModel _energy;
+    TimingConfig _timing_config;
+    /** The cycle-accounting backend; owned, engine-local state. */
+    std::unique_ptr<TimingModel> _timing;
+    /** Devirtualized view of _timing when the backend is pipelined
+     * (the hot loop calls its final methods directly); else nullptr. */
+    PipelinedTimingModel *_pipe = nullptr;
     DecodedProgram _decoded;
     MemoryHierarchy _hierarchy;
     std::array<std::uint64_t, kNumRegs> _regs{};

@@ -31,10 +31,13 @@ class Machine
      *        its program, so callers may pass temporaries)
      * @param energy cost model
      * @param hierarchy_config data-cache geometry
+     * @param timing cycle-accounting backend (src/timing); the default
+     *        scalar backend reproduces the historical model exactly
      */
     Machine(const Program &program, const EnergyModel &energy,
-            const HierarchyConfig &hierarchy_config = {})
-        : _engine(program, energy, hierarchy_config, nullptr)
+            const HierarchyConfig &hierarchy_config = {},
+            const TimingConfig &timing = {})
+        : _engine(program, energy, hierarchy_config, nullptr, timing)
     {
     }
     virtual ~Machine() = default;
@@ -58,6 +61,11 @@ class Machine
     const MemoryHierarchy &hierarchy() const { return _engine.hierarchy(); }
     const EnergyModel &energyModel() const { return _engine.energyModel(); }
     const Program &program() const { return _engine.program(); }
+    const TimingModel &timingModel() const { return _engine.timingModel(); }
+    const TimingConfig &timingConfig() const
+    {
+        return _engine.timingConfig();
+    }
 
     /** Architectural register value. */
     std::uint64_t reg(Reg r) const { return _engine.reg(r); }
@@ -87,8 +95,9 @@ class Machine
   protected:
     /** Extension-point constructor: subclasses install their hooks. */
     Machine(const Program &program, const EnergyModel &energy,
-            const HierarchyConfig &hierarchy_config, ExecutionHooks *hooks)
-        : _engine(program, energy, hierarchy_config, hooks)
+            const HierarchyConfig &hierarchy_config, ExecutionHooks *hooks,
+            const TimingConfig &timing = {})
+        : _engine(program, energy, hierarchy_config, hooks, timing)
     {
     }
 

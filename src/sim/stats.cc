@@ -40,6 +40,27 @@ SimStats::summary(const EnergyModel &model) const
                       static_cast<unsigned long long>(l2WritebackInstalls));
         os << line;
     }
+    if (hazardCycles() > 0 || predictorHits + predictorMisses > 0) {
+        std::snprintf(line, sizeof(line),
+                      "  pipeline: %llu load-use stalls (%llu cyc), "
+                      "%llu jump bubbles (%llu cyc), %llu flushes "
+                      "(%llu cyc)\n",
+                      static_cast<unsigned long long>(loadUseStalls),
+                      static_cast<unsigned long long>(loadUseStallCycles),
+                      static_cast<unsigned long long>(controlBubbles),
+                      static_cast<unsigned long long>(controlBubbleCycles),
+                      static_cast<unsigned long long>(mispredictFlushes),
+                      static_cast<unsigned long long>(
+                          mispredictFlushCycles));
+        os << line;
+        std::snprintf(line, sizeof(line),
+                      "  predictor: %llu hits, %llu misses (%.1f%% "
+                      "accurate)\n",
+                      static_cast<unsigned long long>(predictorHits),
+                      static_cast<unsigned long long>(predictorMisses),
+                      100.0 * branchPredictionAccuracy());
+        os << line;
+    }
     if (rcmpSeen > 0) {
         std::snprintf(line, sizeof(line),
                       "  amnesic: %llu RCMPs -> %llu recomputations, "

@@ -64,6 +64,36 @@ struct SimStats
     /** Same for RCMPs that fell back to the load. */
     std::array<std::uint64_t, 3> fallbackByLevel{};
 
+    // --- pipeline-hazard extras (zero under the scalar backend) ---
+    std::uint64_t loadUseStalls = 0;       ///< load→use interlocks hit
+    std::uint64_t loadUseStallCycles = 0;  ///< cycles those stalls cost
+    std::uint64_t controlBubbles = 0;      ///< unconditional-jump bubbles
+    std::uint64_t controlBubbleCycles = 0;
+    std::uint64_t mispredictFlushes = 0;   ///< front-end flushes
+    std::uint64_t mispredictFlushCycles = 0;
+    std::uint64_t predictorHits = 0;       ///< conditional branches predicted right
+    std::uint64_t predictorMisses = 0;
+
+    /** Total cycles the pipelined backend added on top of the scalar
+     * base latencies — by construction, pipelined.cycles equals
+     * scalar.cycles + hazardCycles() for the same run. */
+    std::uint64_t hazardCycles() const
+    {
+        return loadUseStallCycles + controlBubbleCycles +
+               mispredictFlushCycles;
+    }
+
+    /** Fraction of conditional branches predicted correctly (0 when the
+     * run saw none, e.g. under the scalar backend). */
+    double branchPredictionAccuracy() const
+    {
+        std::uint64_t total = predictorHits + predictorMisses;
+        return total == 0
+                   ? 0.0
+                   : static_cast<double>(predictorHits) /
+                         static_cast<double>(total);
+    }
+
     /** Total energy in nJ. */
     double energyNj() const { return energy.totalNj(); }
 

@@ -36,6 +36,12 @@ struct GenCase
     AmnesicConfig amnesic;
     HierarchyConfig hierarchy;
     EnergyConfig energy;
+    /** Cycle-accounting backend both sides of the differential run
+     * under. generateCase() leaves the scalar default (the rng draw
+     * sequence is frozen); harnesses that want pipelined coverage set
+     * it explicitly — the oracle invariants hold under any backend
+     * because timing never feeds back into execution. */
+    TimingConfig timing;
     FaultPlan faults;
     /** Policies to differential-check (Oracle runs the oracle-set
      * binary; everything else the probabilistic one). */

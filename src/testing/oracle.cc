@@ -251,7 +251,8 @@ runDifferential(const GenCase &test_case, AmnesicTraceHooks *trace)
     report.analyzerWarnings = analysis.warningCount();
 
     // Baseline: the unmodified program on the classic machine.
-    Machine classic(workload.program, energy, test_case.hierarchy);
+    Machine classic(workload.program, energy, test_case.hierarchy,
+                    test_case.timing);
     classic.run(test_case.runLimit);
     AMNESIAC_ASSERT(classic.halted(), "classic run hit the run limit");
     report.classicStats = classic.stats();
@@ -273,7 +274,7 @@ runDifferential(const GenCase &test_case, AmnesicTraceHooks *trace)
         const Program &binary =
             needsOracleSet(policy) ? oracle.program : prob.program;
         AmnesicMachine machine(binary, energy, config,
-                               test_case.hierarchy);
+                               test_case.hierarchy, test_case.timing);
         machine.setTraceHooks(trace);
 
         FaultInjector injector(

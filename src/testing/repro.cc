@@ -298,6 +298,17 @@ renderRepro(const GenCase &c)
 
     w.put("energy.nonMemScale", c.energy.nonMemScale);
 
+    w.put("timing.backend", timingBackendName(c.timing.backend));
+    w.put("timing.predictor", predictorKindName(c.timing.predictor));
+    w.put("timing.predictorLogEntries",
+          std::uint64_t{c.timing.predictorLogEntries});
+    w.put("timing.loadUseStallCycles",
+          std::uint64_t{c.timing.loadUseStallCycles});
+    w.put("timing.mispredictPenaltyCycles",
+          std::uint64_t{c.timing.mispredictPenaltyCycles});
+    w.put("timing.jumpBubbleCycles",
+          std::uint64_t{c.timing.jumpBubbleCycles});
+
     w.put("faultCount", std::uint64_t{c.faults.size()});
     for (std::size_t i = 0; i < c.faults.size(); ++i) {
         const FaultSpec &f = c.faults[i];
@@ -385,6 +396,27 @@ parseRepro(const std::string &text, GenCase &out, std::string &error)
     r.get("hierarchy.l2.lineBytes", out.hierarchy.l2.lineBytes);
 
     r.get("energy.nonMemScale", out.energy.nonMemScale);
+
+    // Pre-timing repro files simply lack these keys and keep the scalar
+    // defaults; a present-but-unknown name is a hand-edit error.
+    std::string backend_name, predictor_name;
+    r.get("timing.backend", backend_name);
+    if (!backend_name.empty() &&
+        !parseTimingBackend(backend_name, out.timing.backend)) {
+        error = "unknown timing backend \"" + backend_name + "\"";
+        return false;
+    }
+    r.get("timing.predictor", predictor_name);
+    if (!predictor_name.empty() &&
+        !parsePredictorKind(predictor_name, out.timing.predictor)) {
+        error = "unknown predictor \"" + predictor_name + "\"";
+        return false;
+    }
+    r.get("timing.predictorLogEntries", out.timing.predictorLogEntries);
+    r.get("timing.loadUseStallCycles", out.timing.loadUseStallCycles);
+    r.get("timing.mispredictPenaltyCycles",
+          out.timing.mispredictPenaltyCycles);
+    r.get("timing.jumpBubbleCycles", out.timing.jumpBubbleCycles);
 
     std::uint64_t faults = 0;
     r.get("faultCount", faults);

@@ -1,0 +1,121 @@
+#include "timing/predictor.h"
+
+#include "util/logging.h"
+
+namespace amnesiac {
+
+namespace {
+
+/** Two-bit saturating counter transition shared by both tabled kinds:
+ * 0/1 predict not-taken, 2/3 predict taken; init 1 = weakly not-taken. */
+constexpr std::uint8_t kWeaklyNotTaken = 1;
+
+inline void
+train(std::uint8_t &counter, bool taken)
+{
+    if (taken) {
+        if (counter < 3)
+            ++counter;
+    } else {
+        if (counter > 0)
+            --counter;
+    }
+}
+
+}  // namespace
+
+std::string_view
+predictorKindName(PredictorKind kind)
+{
+    switch (kind) {
+      case PredictorKind::NotTaken: return "nottaken";
+      case PredictorKind::Bimodal:  return "bimodal";
+      case PredictorKind::Gshare:   return "gshare";
+    }
+    AMNESIAC_PANIC("predictorKindName: bad kind");
+}
+
+bool
+parsePredictorKind(const std::string &name, PredictorKind &out)
+{
+    for (PredictorKind kind : kAllPredictorKinds)
+        if (name == predictorKindName(kind)) {
+            out = kind;
+            return true;
+        }
+    return false;
+}
+
+BimodalPredictor::BimodalPredictor(unsigned log_entries)
+    : _table(std::size_t{1} << log_entries, kWeaklyNotTaken),
+      _mask(static_cast<std::uint32_t>((std::size_t{1} << log_entries) - 1))
+{
+    AMNESIAC_ASSERT(log_entries >= 1 && log_entries <= 24,
+                    "bimodal table size out of range");
+}
+
+bool
+BimodalPredictor::predictTaken(std::uint32_t pc)
+{
+    return _table[pc & _mask] >= 2;
+}
+
+void
+BimodalPredictor::update(std::uint32_t pc, bool taken)
+{
+    train(_table[pc & _mask], taken);
+}
+
+void
+BimodalPredictor::reset()
+{
+    std::fill(_table.begin(), _table.end(), kWeaklyNotTaken);
+}
+
+GsharePredictor::GsharePredictor(unsigned log_entries,
+                                 unsigned history_bits)
+    : _table(std::size_t{1} << log_entries, kWeaklyNotTaken),
+      _mask(static_cast<std::uint32_t>((std::size_t{1} << log_entries) - 1)),
+      _historyMask((history_bits >= 32)
+                       ? ~std::uint32_t{0}
+                       : ((std::uint32_t{1} << history_bits) - 1))
+{
+    AMNESIAC_ASSERT(log_entries >= 1 && log_entries <= 24,
+                    "gshare table size out of range");
+}
+
+bool
+GsharePredictor::predictTaken(std::uint32_t pc)
+{
+    return _table[index(pc)] >= 2;
+}
+
+void
+GsharePredictor::update(std::uint32_t pc, bool taken)
+{
+    train(_table[index(pc)], taken);
+    _history = ((_history << 1) | (taken ? 1u : 0u)) & _historyMask;
+}
+
+void
+GsharePredictor::reset()
+{
+    std::fill(_table.begin(), _table.end(), kWeaklyNotTaken);
+    _history = 0;
+}
+
+std::unique_ptr<Predictor>
+makePredictor(PredictorKind kind, unsigned log_entries)
+{
+    switch (kind) {
+      case PredictorKind::NotTaken:
+        return std::make_unique<NotTakenPredictor>();
+      case PredictorKind::Bimodal:
+        return std::make_unique<BimodalPredictor>(log_entries);
+      case PredictorKind::Gshare:
+        return std::make_unique<GsharePredictor>(log_entries);
+    }
+    AMNESIAC_PANIC("makePredictor: bad kind");
+}
+
+}  // namespace amnesiac

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Branch-direction predictors for the pipelined timing backend
+ * (src/timing/timing.h). Three classic schemes behind one interface:
+ * always-not-taken (the baseline every textbook pipeline starts from),
+ * a bimodal table of 2-bit saturating counters, and gshare (global
+ * history XOR-folded into the index, McFarling 1993).
+ *
+ * Distinct from core/uarch.h's MissPredictor: that one predicts cache
+ * *misses* to drive the §3.3.1 amnesic policy; these predict branch
+ * *directions* to drive control-hazard accounting. They share nothing
+ * but the 2-bit-counter idiom.
+ *
+ * Predictors are timing-only state: predictions and updates never touch
+ * architectural execution, so attaching one cannot change what a
+ * program computes — only how many cycles the pipeline charges for it.
+ */
+
+#ifndef AMNESIAC_TIMING_PREDICTOR_H
+#define AMNESIAC_TIMING_PREDICTOR_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace amnesiac {
+
+/** Which branch-direction predictor the pipelined backend consults. */
+enum class PredictorKind : std::uint8_t {
+    NotTaken,  ///< statically predict every branch not-taken
+    Bimodal,   ///< pc-indexed 2-bit saturating counters
+    Gshare,    ///< (pc XOR global history)-indexed 2-bit counters
+};
+
+/** Canonical lowercase name ("nottaken" / "bimodal" / "gshare"). */
+std::string_view predictorKindName(PredictorKind kind);
+
+/** Parse a canonical name; false (and `out` untouched) on failure. */
+bool parsePredictorKind(const std::string &name, PredictorKind &out);
+
+/** All kinds, in declaration order (sweep harnesses iterate this). */
+inline constexpr PredictorKind kAllPredictorKinds[] = {
+    PredictorKind::NotTaken, PredictorKind::Bimodal,
+    PredictorKind::Gshare};
+
+/**
+ * Branch-direction predictor interface. The pipelined backend calls
+ * predictTaken() before it learns a conditional branch's outcome and
+ * update() with the resolved direction afterwards — once each per
+ * dynamic conditional branch, in program order.
+ */
+class Predictor
+{
+  public:
+    virtual ~Predictor() = default;
+
+    virtual PredictorKind kind() const = 0;
+
+    /** Predicted direction of the branch at static `pc`. */
+    virtual bool predictTaken(std::uint32_t pc) = 0;
+
+    /** Train on the resolved direction of the branch at `pc`. */
+    virtual void update(std::uint32_t pc, bool taken) = 0;
+
+    /** Forget all history (fresh-machine state). */
+    virtual void reset() = 0;
+};
+
+/** Always-not-taken: no state, mispredicts every taken branch. */
+class NotTakenPredictor final : public Predictor
+{
+  public:
+    PredictorKind kind() const override { return PredictorKind::NotTaken; }
+    bool predictTaken(std::uint32_t) override { return false; }
+    void update(std::uint32_t, bool) override {}
+    void reset() override {}
+};
+
+/**
+ * Bimodal: 2^log_entries two-bit saturating counters indexed by the low
+ * pc bits. Counters initialize to 1 (weakly not-taken), so a fresh
+ * table behaves like NotTaken until trained.
+ */
+class BimodalPredictor final : public Predictor
+{
+  public:
+    explicit BimodalPredictor(unsigned log_entries = 10);
+
+    PredictorKind kind() const override { return PredictorKind::Bimodal; }
+    bool predictTaken(std::uint32_t pc) override;
+    void update(std::uint32_t pc, bool taken) override;
+    void reset() override;
+
+  private:
+    std::vector<std::uint8_t> _table;
+    std::uint32_t _mask;
+};
+
+/**
+ * Gshare: the bimodal table indexed by pc XOR the global branch-history
+ * register, so correlated branches stop aliasing to one counter. The
+ * history register shifts in each resolved direction (LSB = most
+ * recent) and keeps `history_bits` bits.
+ */
+class GsharePredictor final : public Predictor
+{
+  public:
+    explicit GsharePredictor(unsigned log_entries = 10,
+                             unsigned history_bits = 8);
+
+    PredictorKind kind() const override { return PredictorKind::Gshare; }
+    bool predictTaken(std::uint32_t pc) override;
+    void update(std::uint32_t pc, bool taken) override;
+    void reset() override;
+
+  private:
+    std::uint32_t index(std::uint32_t pc) const
+    {
+        return (pc ^ _history) & _mask;
+    }
+
+    std::vector<std::uint8_t> _table;
+    std::uint32_t _mask;
+    std::uint32_t _history = 0;
+    std::uint32_t _historyMask;
+};
+
+/** Factory keyed on PredictorKind (table size shared by both tabled
+ * kinds; ignored by NotTaken). */
+std::unique_ptr<Predictor> makePredictor(PredictorKind kind,
+                                         unsigned log_entries = 10);
+
+}  // namespace amnesiac
+
+#endif  // AMNESIAC_TIMING_PREDICTOR_H

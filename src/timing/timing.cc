@@ -1,0 +1,41 @@
+#include "timing/timing.h"
+
+#include "util/logging.h"
+
+namespace amnesiac {
+
+std::string_view
+timingBackendName(TimingBackend backend)
+{
+    switch (backend) {
+      case TimingBackend::Scalar:    return "scalar";
+      case TimingBackend::Pipelined: return "pipelined";
+    }
+    AMNESIAC_PANIC("timingBackendName: bad backend");
+}
+
+bool
+parseTimingBackend(const std::string &name, TimingBackend &out)
+{
+    for (TimingBackend backend :
+         {TimingBackend::Scalar, TimingBackend::Pipelined})
+        if (name == timingBackendName(backend)) {
+            out = backend;
+            return true;
+        }
+    return false;
+}
+
+std::unique_ptr<TimingModel>
+makeTimingModel(const TimingConfig &config)
+{
+    switch (config.backend) {
+      case TimingBackend::Scalar:
+        return std::make_unique<ScalarTimingModel>();
+      case TimingBackend::Pipelined:
+        return std::make_unique<PipelinedTimingModel>(config);
+    }
+    AMNESIAC_PANIC("makeTimingModel: bad backend");
+}
+
+}  // namespace amnesiac

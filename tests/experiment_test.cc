@@ -53,6 +53,14 @@ expectStatsIdentical(const SimStats &a, const SimStats &b)
     EXPECT_EQ(a.histMissFallbacks, b.histMissFallbacks);
     EXPECT_EQ(a.swappedByLevel, b.swappedByLevel);
     EXPECT_EQ(a.fallbackByLevel, b.fallbackByLevel);
+    EXPECT_EQ(a.loadUseStalls, b.loadUseStalls);
+    EXPECT_EQ(a.loadUseStallCycles, b.loadUseStallCycles);
+    EXPECT_EQ(a.controlBubbles, b.controlBubbles);
+    EXPECT_EQ(a.controlBubbleCycles, b.controlBubbleCycles);
+    EXPECT_EQ(a.mispredictFlushes, b.mispredictFlushes);
+    EXPECT_EQ(a.mispredictFlushCycles, b.mispredictFlushCycles);
+    EXPECT_EQ(a.predictorHits, b.predictorHits);
+    EXPECT_EQ(a.predictorMisses, b.predictorMisses);
 }
 
 void

@@ -11,6 +11,9 @@
  *                          (0 = hardware_concurrency, 1 = serial)
  *   --seed <n>             workload seed (default 1)
  *   --scale <x>            non-memory EPI scale, the §5.5 R knob
+ *   --timing <b>           cycle backend: scalar | pipelined
+ *   --predictor <p>        pipelined branch predictor:
+ *                          nottaken | bimodal | gshare
  *   --hist <n>             Hist capacity (default 600)
  *   --sfile <n>            SFile capacity (default 192)
  *   --per-site-model       use the exact per-site Eld model instead of
@@ -59,7 +62,9 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--list] [--policy <p>] [--seed <n>] "
-                 "[--jobs <n>] [--scale <x>] [--hist <n>] "
+                 "[--jobs <n>] [--scale <x>] "
+                 "[--timing <scalar|pipelined>] "
+                 "[--predictor <nottaken|bimodal|gshare>] [--hist <n>] "
                  "[--sfile <n>] [--per-site-model] [--trace <path>] "
                  "[--site-report <path>] [--metrics <path>] "
                  "[--max-records <n>] [--csv] "
@@ -112,6 +117,20 @@ main(int argc, char **argv)
                 std::strtoul(next().c_str(), nullptr, 10));
         } else if (arg == "--scale") {
             config.energy.nonMemScale = std::strtod(next().c_str(), nullptr);
+        } else if (arg == "--timing") {
+            std::string name = next();
+            if (!parseTimingBackend(name, config.timing.backend)) {
+                std::fprintf(stderr, "unknown timing backend '%s'\n",
+                             name.c_str());
+                return 2;
+            }
+        } else if (arg == "--predictor") {
+            std::string name = next();
+            if (!parsePredictorKind(name, config.timing.predictor)) {
+                std::fprintf(stderr, "unknown predictor '%s'\n",
+                             name.c_str());
+                return 2;
+            }
         } else if (arg == "--hist") {
             config.amnesic.histCapacity = static_cast<std::uint32_t>(
                 std::strtoul(next().c_str(), nullptr, 10));
