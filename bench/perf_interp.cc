@@ -32,6 +32,7 @@
 
 #include "core/amnesic_machine.h"
 #include "core/compiler.h"
+#include "isa/serialize.h"
 #include "obs/manifest.h"
 #include "profile/profiler.h"
 #include "report/experiment.h"
@@ -51,6 +52,7 @@ using amnesiac::HierarchyConfig;
 using amnesiac::Machine;
 using amnesiac::Policy;
 using amnesiac::Profiler;
+using amnesiac::serializeProgram;
 using amnesiac::Workload;
 
 using WallClock = std::chrono::steady_clock;
@@ -96,6 +98,9 @@ struct WorkloadResult
     PhaseResult profile;
     std::uint64_t productions = 0;  ///< profiling-phase producer nodes
     std::string manifestJson;       ///< RunManifest of one pipeline run
+    double compilePrunedSec = 0.0;    ///< best compile, static prune on
+    double compileUnprunedSec = 0.0;  ///< best compile, static prune off
+    std::uint64_t prunedCandidates = 0;
 };
 
 void
@@ -217,6 +222,48 @@ main(int argc, char **argv)
             }
         }
 
+        // --- compile pass: static prune on vs off ---
+        // Times both configurations and holds the pruner to its
+        // conservative contract: the serialized binaries must be
+        // byte-identical, or the whole benchmark fails (CI gates on
+        // this exit status, not on the timing numbers).
+        {
+            amnesiac::CompilerConfig pruned_config = config.compiler;
+            pruned_config.runLimit = config.runLimit;
+            amnesiac::CompilerConfig unpruned_config = pruned_config;
+            unpruned_config.prune = false;
+            std::vector<std::uint8_t> pruned_bytes;
+            std::vector<std::uint8_t> unpruned_bytes;
+            for (int rep = 0; rep < repeats; ++rep) {
+                AmnesicCompiler compiler(energy, hierarchy, pruned_config);
+                WallClock::time_point t0 = WallClock::now();
+                CompileResult compiled = compiler.compile(workload.program);
+                double sec = secondsSince(t0);
+                if (rep == 0 || sec < r.compilePrunedSec)
+                    r.compilePrunedSec = sec;
+                r.prunedCandidates = compiled.stats.prunedSites +
+                                     compiled.stats.prunedProductions;
+                pruned_bytes = serializeProgram(compiled.program);
+            }
+            for (int rep = 0; rep < repeats; ++rep) {
+                AmnesicCompiler compiler(energy, hierarchy,
+                                         unpruned_config);
+                WallClock::time_point t0 = WallClock::now();
+                CompileResult compiled = compiler.compile(workload.program);
+                double sec = secondsSince(t0);
+                if (rep == 0 || sec < r.compileUnprunedSec)
+                    r.compileUnprunedSec = sec;
+                unpruned_bytes = serializeProgram(compiled.program);
+            }
+            if (pruned_bytes != unpruned_bytes) {
+                std::fprintf(stderr,
+                             "%s: static prune changed the emitted "
+                             "binary — conservative contract violated\n",
+                             name.c_str());
+                return 1;
+            }
+        }
+
         // --- one full pipeline run for the RunManifest phase times ---
         {
             ExperimentRunner runner(config);
@@ -241,6 +288,9 @@ main(int argc, char **argv)
     }
     json += "  \"workloads\": [\n";
     PhaseResult classic_total, amnesic_total, profile_total;
+    double compile_pruned_total = 0.0;
+    double compile_unpruned_total = 0.0;
+    std::uint64_t pruned_candidates_total = 0;
     for (std::size_t i = 0; i < results.size(); ++i) {
         const WorkloadResult &r = results[i];
         json += "    {\"name\":\"" + r.name + "\",";
@@ -249,9 +299,14 @@ main(int argc, char **argv)
         appendPhaseJson(json, "amnesic", r.amnesic);
         json += ",";
         appendPhaseJson(json, "profile", r.profile);
-        char buf[96];
-        std::snprintf(buf, sizeof(buf), ",\"productions\":%" PRIu64 ",",
-                      r.productions);
+        char buf[224];
+        std::snprintf(buf, sizeof(buf),
+                      ",\"productions\":%" PRIu64
+                      ",\"compile\":{\"prunedSec\":%.9f,"
+                      "\"unprunedSec\":%.9f,\"prunedCandidates\":%" PRIu64
+                      ",\"byteIdentical\":true},",
+                      r.productions, r.compilePrunedSec,
+                      r.compileUnprunedSec, r.prunedCandidates);
         json += buf;
         json += "\"manifest\":" + r.manifestJson + "}";
         json += (i + 1 < results.size()) ? ",\n" : "\n";
@@ -262,6 +317,9 @@ main(int argc, char **argv)
         amnesic_total.bestSec += r.amnesic.bestSec;
         profile_total.instrs += r.profile.instrs;
         profile_total.bestSec += r.profile.bestSec;
+        compile_pruned_total += r.compilePrunedSec;
+        compile_unpruned_total += r.compileUnprunedSec;
+        pruned_candidates_total += r.prunedCandidates;
     }
     json += "  ],\n  \"totals\": {";
     appendPhaseJson(json, "classic", classic_total);
@@ -269,6 +327,16 @@ main(int argc, char **argv)
     appendPhaseJson(json, "amnesic", amnesic_total);
     json += ",";
     appendPhaseJson(json, "profile", profile_total);
+    {
+        char buf[192];
+        std::snprintf(buf, sizeof(buf),
+                      ",\"compile\":{\"prunedSec\":%.9f,"
+                      "\"unprunedSec\":%.9f,\"prunedCandidates\":%" PRIu64
+                      "}",
+                      compile_pruned_total, compile_unpruned_total,
+                      pruned_candidates_total);
+        json += buf;
+    }
     json += "}\n}\n";
 
     std::ofstream out(out_path, std::ios::binary);
@@ -286,6 +354,15 @@ main(int argc, char **argv)
                 amnesic_total.nsPerInstr());
     std::printf("profile   %10.0f   %8.3f\n", profile_total.instrsPerSec(),
                 profile_total.nsPerInstr());
+    double prune_delta_pct =
+        compile_unpruned_total <= 0.0
+            ? 0.0
+            : 100.0 * (compile_pruned_total - compile_unpruned_total) /
+                  compile_unpruned_total;
+    std::printf("compile   %.3fs pruned vs %.3fs unpruned (%+.1f%%), "
+                "%" PRIu64 " candidates pruned, outputs byte-identical\n",
+                compile_pruned_total, compile_unpruned_total,
+                prune_delta_pct, pruned_candidates_total);
     std::printf("wrote %s\n", out_path.c_str());
     return 0;
 }

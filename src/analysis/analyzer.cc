@@ -20,6 +20,10 @@ standardPasses()
          "RCMP cross-references, region layout, metadata consistency"},
         {"cost", "AMN601-AMN602",
          "recomputation can beat the load it replaces"},
+        {"valuerange", "AMN701-AMN703",
+         "interval facts: access bounds, dead guards, constant slices"},
+        {"checkpoint", "AMN801-AMN803",
+         "Hist footprint, recompute depth, multi-writer aliasing"},
     };
     return passes;
 }
@@ -40,6 +44,11 @@ analyzeProgram(const Program &program, const AnalyzerOptions &options)
     runTerminationPass(ctx, report);
     runIntegrityPass(ctx, report);
     runCostPass(ctx, options, report);
+    // Solved once, shared by both dataflow-backed passes (the compiler
+    // reuses the same facts for its static candidate pruner).
+    DataflowFacts facts(program);
+    runValueRangePass(ctx, facts, report);
+    runCheckpointPass(ctx, facts, options, report);
     report.sort();
     return report;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/dataflow.h"
 #include "util/logging.h"
 
 namespace amnesiac {
@@ -121,21 +122,13 @@ AnalysisContext::buildRecIndex()
 std::vector<std::uint32_t>
 AnalysisContext::mainSuccessors(std::uint32_t pc) const
 {
-    const Instruction &i = _program->code[pc];
-    switch (i.op) {
-      case Opcode::Halt:
-        return {};
-      case Opcode::Jmp:
-        return {i.target};
-      case Opcode::Beq:
-      case Opcode::Bne:
-      case Opcode::Blt:
-        return {i.target, pc + 1};
-      default:
-        // Everything else, including RCMP (the slice traversal is an
-        // internal detour; control always resumes at pc+1) and REC.
-        return {pc + 1};
-    }
+    // One successor model for every consumer: RCMP's slice traversal is
+    // an internal detour (control always resumes at pc+1), REC falls
+    // through, branches fan out. The dataflow engine's MainCfg uses the
+    // same isa-level helper, so the two CFGs cannot drift.
+    std::uint32_t out[2];
+    std::uint32_t n = instrSuccessors(_program->code[pc], pc, out);
+    return {out, out + n};
 }
 
 void
@@ -185,29 +178,43 @@ AnalysisContext::defMask(std::uint32_t pc) const
     return hasDest(i.op) ? regBit(i.rd) : 0u;
 }
 
+namespace {
+
+/** Backward liveness as a dataflow-engine domain: 32-bit register
+ * masks, join = union, in = use | (out & ~def). */
+struct LivenessDomain
+{
+    const AnalysisContext *ctx;
+
+    using Value = std::uint32_t;
+
+    Value bottom() const { return 0; }
+
+    bool
+    join(Value &into, const Value &from) const
+    {
+        Value old = into;
+        into |= from;
+        return into != old;
+    }
+
+    Value
+    transferBack(std::uint32_t pc, const Instruction &, const Value &out) const
+    {
+        return ctx->useMask(pc) | (out & ~ctx->defMask(pc));
+    }
+};
+
+}  // namespace
+
 void
 AnalysisContext::buildLiveness()
 {
-    const Program &p = *_program;
-    _liveIn.assign(p.codeEnd, 0);
-    // Backward fixpoint; the masks are 32-bit so the whole state is
-    // tiny and the loop converges in O(loop-nesting) sweeps.
-    bool changed = true;
-    while (changed) {
-        changed = false;
-        for (std::uint32_t idx = p.codeEnd; idx-- > 0;) {
-            std::uint32_t live_out = 0;
-            for (std::uint32_t succ : mainSuccessors(idx))
-                if (succ < p.codeEnd)
-                    live_out |= _liveIn[succ];
-            std::uint32_t live_in =
-                useMask(idx) | (live_out & ~defMask(idx));
-            if (live_in != _liveIn[idx]) {
-                _liveIn[idx] = live_in;
-                changed = true;
-            }
-        }
-    }
+    // Solved on the shared engine; unreachable code keeps bottom (no
+    // register live), which no consumer distinguishes from the old
+    // every-pc sweep.
+    MainCfg cfg(*_program);
+    _liveIn = solveBackward(cfg, LivenessDomain{this});
 }
 
 std::uint32_t

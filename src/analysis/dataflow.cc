@@ -1,0 +1,84 @@
+#include "analysis/dataflow.h"
+
+namespace amnesiac {
+
+MainCfg::MainCfg(const Program &program) : _program(&program)
+{
+    _size = program.codeEnd <= program.code.size()
+        ? program.codeEnd
+        : static_cast<std::uint32_t>(program.code.size());
+    _preds.resize(_size);
+    _rpoIndex.assign(_size, kUnvisited);
+    _loopHead.assign(_size, false);
+    if (_size == 0)
+        return;
+
+    for (std::uint32_t pc = 0; pc < _size; ++pc) {
+        std::uint32_t succ[2];
+        std::uint32_t edge[2];
+        std::uint32_t n = successors(pc, succ, edge);
+        for (std::uint32_t k = 0; k < n; ++k)
+            _preds[succ[k]].emplace_back(pc, edge[k]);
+    }
+
+    // Iterative postorder DFS from pc 0, reversed into RPO.
+    struct Frame
+    {
+        std::uint32_t pc;
+        std::uint32_t next;
+    };
+    std::vector<bool> visited(_size, false);
+    std::vector<std::uint32_t> postorder;
+    std::vector<Frame> stack;
+    visited[0] = true;
+    stack.push_back({0, 0});
+    while (!stack.empty()) {
+        Frame &f = stack.back();
+        std::uint32_t succ[2];
+        std::uint32_t edge[2];
+        std::uint32_t n = successors(f.pc, succ, edge);
+        if (f.next < n) {
+            std::uint32_t s = succ[f.next++];
+            if (!visited[s]) {
+                visited[s] = true;
+                stack.push_back({s, 0});
+            }
+            continue;
+        }
+        postorder.push_back(f.pc);
+        stack.pop_back();
+    }
+    _rpo.assign(postorder.rbegin(), postorder.rend());
+    for (std::uint32_t i = 0; i < _rpo.size(); ++i)
+        _rpoIndex[_rpo[i]] = i;
+
+    // A retreating edge u->v in RPO numbering marks v as a loop head.
+    for (std::uint32_t pc : _rpo) {
+        std::uint32_t succ[2];
+        std::uint32_t edge[2];
+        std::uint32_t n = successors(pc, succ, edge);
+        for (std::uint32_t k = 0; k < n; ++k)
+            if (_rpoIndex[succ[k]] != kUnvisited &&
+                _rpoIndex[succ[k]] <= _rpoIndex[pc])
+                _loopHead[succ[k]] = true;
+    }
+}
+
+std::uint32_t
+MainCfg::successors(std::uint32_t pc, std::uint32_t out_pc[2],
+                    std::uint32_t out_edge[2]) const
+{
+    std::uint32_t raw[2];
+    std::uint32_t n = instrSuccessors(_program->code[pc], pc, raw);
+    std::uint32_t kept = 0;
+    for (std::uint32_t k = 0; k < n; ++k) {
+        if (raw[k] >= _size)
+            continue;  // broken target: not a CFG edge (AMN501 territory)
+        out_pc[kept] = raw[k];
+        out_edge[kept] = k;
+        ++kept;
+    }
+    return kept;
+}
+
+}  // namespace amnesiac

@@ -91,6 +91,36 @@ struct AnalysisReport
     std::string renderJson() const;
 };
 
+/**
+ * Registry entry for one diagnostic id: which pass owns it, its default
+ * severity, and reference documentation. Powers `amnesiac-lint
+ * --explain`, the SARIF rule table, and the DESIGN.md catalogue.
+ */
+struct DiagInfo
+{
+    std::string_view id;
+    std::string_view pass;
+    Severity severity;
+    /** One-line statement of what the finding means. */
+    std::string_view title;
+    /** Longer guidance: why it matters and what to do about it. */
+    std::string_view detail;
+};
+
+/** Every registered diagnostic id, ordered by id. */
+const std::vector<DiagInfo> &diagnosticRegistry();
+
+/** Registry entry for an id (e.g. "AMN101"), or nullptr if unknown. */
+const DiagInfo *findDiagInfo(std::string_view id);
+
+/**
+ * SARIF 2.1.0 rendering of one or more reports: a single run whose
+ * rules come from the registry and whose results anchor each finding
+ * to its program (artifact URI = program name) and pc (startLine =
+ * pc + 1; SARIF lines are 1-based).
+ */
+std::string renderSarif(const std::vector<AnalysisReport> &reports);
+
 }  // namespace amnesiac
 
 #endif  // AMNESIAC_ANALYSIS_DIAGNOSTIC_H

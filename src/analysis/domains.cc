@@ -1,0 +1,753 @@
+#include "analysis/domains.h"
+
+#include <algorithm>
+#include <bit>
+#include <iterator>
+
+#include "isa/opcode.h"
+
+namespace amnesiac {
+
+Interval
+intervalJoin(const Interval &a, const Interval &b)
+{
+    if (a.empty())
+        return b;
+    if (b.empty())
+        return a;
+    return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+Interval
+intervalMeet(const Interval &a, const Interval &b)
+{
+    if (a.empty() || b.empty())
+        return Interval::none();
+    std::uint64_t lo = std::max(a.lo, b.lo);
+    std::uint64_t hi = std::min(a.hi, b.hi);
+    return lo > hi ? Interval::none() : Interval::range(lo, hi);
+}
+
+namespace {
+
+/** Smallest all-ones mask covering v (0 for v == 0). */
+std::uint64_t
+maskOf(std::uint64_t v)
+{
+    return v == 0 ? 0 : ~0ull >> std::countl_zero(v);
+}
+
+}  // namespace
+
+Interval
+evalInterval(Opcode op, const Interval &a, const Interval &b, std::int64_t imm)
+{
+    if (op == Opcode::Li)
+        return Interval::constant(static_cast<std::uint64_t>(imm));
+    if (a.empty() || b.empty())
+        return Interval::none();
+    switch (op) {
+      case Opcode::Mov:
+        return a;
+      case Opcode::Add:
+        // Interval arithmetic is only a bound when the corner cases
+        // provably cannot wrap; otherwise fall through to top.
+        if (a.hi <= ~0ull - b.hi)
+            return {a.lo + b.lo, a.hi + b.hi};
+        break;
+      case Opcode::Sub:
+        if (a.lo >= b.hi)
+            return {a.lo - b.hi, a.hi - b.lo};
+        break;
+      case Opcode::Mul:
+        if (a.hi == 0 || b.hi <= ~0ull / a.hi)
+            return {a.lo * b.lo, a.hi * b.hi};
+        break;
+      case Opcode::Divu:
+        // The machine defines x/0 == ~0.
+        if (b.singleton() && b.lo == 0)
+            return Interval::constant(~0ull);
+        if (b.lo >= 1)
+            return {a.lo / b.hi, a.hi / b.lo};
+        break;
+      case Opcode::And:
+        return {0, std::min(a.hi, b.hi)};
+      case Opcode::Or:
+        return {std::max(a.lo, b.lo), maskOf(a.hi | b.hi)};
+      case Opcode::Xor:
+        return {0, maskOf(a.hi | b.hi)};
+      case Opcode::Shl:
+        if (b.singleton()) {
+            unsigned k = static_cast<unsigned>(b.lo & 63);
+            if (a.hi <= (~0ull >> k))
+                return {a.lo << k, a.hi << k};
+        }
+        break;
+      case Opcode::Shr:
+        if (b.hi <= 63)
+            return {a.lo >> b.hi, a.hi >> b.lo};
+        break;
+      default:
+        // Fadd/Fsub/Fmul/Fdiv: IEEE bit patterns carry no useful
+        // unsigned order.
+        break;
+    }
+    return Interval::all();
+}
+
+IntervalDomain::IntervalDomain(const Program &program)
+{
+    // Widening thresholds: the landmarks loop bounds are made of. Li
+    // immediates (and their successors, for Blt exit states), the data
+    // size, the signed-compare boundary, and the lattice extremes.
+    _thresholds = {0, program.memBytes(), (1ull << 63) - 1, ~0ull};
+    std::uint32_t end = program.codeEnd <= program.code.size()
+        ? program.codeEnd
+        : static_cast<std::uint32_t>(program.code.size());
+    for (std::uint32_t pc = 0; pc < end; ++pc) {
+        const Instruction &i = program.code[pc];
+        if (i.op != Opcode::Li)
+            continue;
+        std::uint64_t v = static_cast<std::uint64_t>(i.imm);
+        _thresholds.push_back(v);
+        if (v != ~0ull)
+            _thresholds.push_back(v + 1);
+    }
+    std::sort(_thresholds.begin(), _thresholds.end());
+    _thresholds.erase(std::unique(_thresholds.begin(), _thresholds.end()),
+                      _thresholds.end());
+}
+
+RegIntervals
+IntervalDomain::entry() const
+{
+    Value v;
+    v.reachable = true;
+    // The machine zero-initializes the register file.
+    v.reg.fill(Interval::constant(0));
+    return v;
+}
+
+bool
+IntervalDomain::join(Value &into, const Value &from) const
+{
+    if (!from.reachable)
+        return false;
+    if (!into.reachable) {
+        into = from;
+        return true;
+    }
+    bool changed = false;
+    for (Reg r = 0; r < kNumRegs; ++r) {
+        Interval j = intervalJoin(into.reg[r], from.reg[r]);
+        if (!(j == into.reg[r])) {
+            into.reg[r] = j;
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+void
+IntervalDomain::widen(Value &into, const Value &prev) const
+{
+    if (!prev.reachable)
+        return;
+    for (Reg r = 0; r < kNumRegs; ++r) {
+        Interval &cur = into.reg[r];
+        const Interval &old = prev.reg[r];
+        if (cur.empty() || old.empty())
+            continue;
+        if (cur.lo < old.lo)
+            cur.lo = widenDown(cur.lo);
+        if (cur.hi > old.hi)
+            cur.hi = widenUp(cur.hi);
+    }
+}
+
+std::uint64_t
+IntervalDomain::widenDown(std::uint64_t lo) const
+{
+    // Largest threshold <= lo; 0 is always present.
+    auto it = std::upper_bound(_thresholds.begin(), _thresholds.end(), lo);
+    return *--it;
+}
+
+std::uint64_t
+IntervalDomain::widenUp(std::uint64_t hi) const
+{
+    // Smallest threshold >= hi; ~0 is always present.
+    return *std::lower_bound(_thresholds.begin(), _thresholds.end(), hi);
+}
+
+RegIntervals
+IntervalDomain::transfer(std::uint32_t, const Instruction &instr,
+                         const Value &in) const
+{
+    if (!in.reachable)
+        return {};
+    Value out = in;
+    if (!hasDest(instr.op) || instr.rd >= kNumRegs)
+        return out;
+    out.reg[instr.rd] = isSliceable(instr.op)
+        ? evalInterval(instr.op, in.of(instr.rs1), in.of(instr.rs2),
+                       instr.imm)
+        : Interval::all();  // Ld/Rcmp: loaded value unknown
+    return out;
+}
+
+bool
+IntervalDomain::refineEdge(std::uint32_t, const Instruction &instr,
+                           std::uint32_t edge, Value &v) const
+{
+    if (!isConditionalBranch(instr.op) || !v.reachable)
+        return true;
+    Reg ra = instr.rs1;
+    Reg rb = instr.rs2;
+    if (ra == rb) {
+        // Same register on both sides: the branch outcome is fixed.
+        bool taken_feasible = instr.op == Opcode::Beq;
+        return edge == 0 ? taken_feasible : !taken_feasible;
+    }
+    Interval a = v.of(ra);
+    Interval b = v.of(rb);
+    if (a.empty() || b.empty())
+        return true;
+    if (instr.op == Opcode::Blt) {
+        // Blt compares SIGNED; unsigned intervals only order the same
+        // way when both operands provably stay below 2^63.
+        constexpr std::uint64_t kSignBit = 1ull << 63;
+        if (a.hi >= kSignBit || b.hi >= kSignBit)
+            return true;
+        if (edge == 0) {  // taken: a < b
+            if (b.hi == 0)
+                return false;
+            a.hi = std::min(a.hi, b.hi - 1);
+            b.lo = std::max(b.lo, a.lo + 1);
+        } else {  // fall-through: a >= b
+            a.lo = std::max(a.lo, b.lo);
+            b.hi = std::min(b.hi, a.hi);
+        }
+        if (a.empty() || b.empty())
+            return false;
+    } else {
+        bool equal_edge = (instr.op == Opcode::Beq) == (edge == 0);
+        if (equal_edge) {
+            Interval m = intervalMeet(a, b);
+            if (m.empty())
+                return false;
+            a = m;
+            b = m;
+        } else {
+            // a != b: trim an endpoint when the other side is constant.
+            if (b.singleton()) {
+                if (a.singleton() && a.lo == b.lo)
+                    return false;
+                if (a.lo == b.lo)
+                    ++a.lo;
+                else if (a.hi == b.lo)
+                    --a.hi;
+            } else if (a.singleton()) {
+                if (b.lo == a.lo)
+                    ++b.lo;
+                else if (b.hi == a.lo)
+                    --b.hi;
+            }
+        }
+    }
+    if (ra < kNumRegs)
+        v.reg[ra] = a;
+    if (rb < kNumRegs)
+        v.reg[rb] = b;
+    return true;
+}
+
+bool
+ReachingDefsDomain::join(Value &into, const Value &from) const
+{
+    if (!from.reachable)
+        return false;
+    if (!into.reachable) {
+        into = from;
+        return true;
+    }
+    bool changed = false;
+    for (Reg r = 0; r < kNumRegs; ++r) {
+        const std::vector<std::uint32_t> &src = from.defs[r];
+        std::vector<std::uint32_t> &dst = into.defs[r];
+        if (src.empty())
+            continue;
+        std::vector<std::uint32_t> merged;
+        merged.reserve(dst.size() + src.size());
+        std::set_union(dst.begin(), dst.end(), src.begin(), src.end(),
+                       std::back_inserter(merged));
+        if (merged.size() != dst.size()) {
+            dst = std::move(merged);
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+RegDefs
+ReachingDefsDomain::transfer(std::uint32_t pc, const Instruction &instr,
+                             const Value &in) const
+{
+    if (!in.reachable)
+        return {};
+    Value out = in;
+    if (hasDest(instr.op) && instr.rd < kNumRegs)
+        out.defs[instr.rd] = {pc};
+    return out;
+}
+
+void
+RegionSet::add(std::uint64_t lo, std::uint64_t hi)
+{
+    if (lo > hi)
+        return;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> merged;
+    merged.reserve(_ranges.size() + 1);
+    bool placed = false;
+    for (const auto &r : _ranges) {
+        bool left = r.second < lo && lo - r.second > 1;
+        bool right = hi < r.first && r.first - hi > 1;
+        if (left) {
+            merged.push_back(r);
+        } else if (right) {
+            if (!placed) {
+                merged.emplace_back(lo, hi);
+                placed = true;
+            }
+            merged.push_back(r);
+        } else {
+            // overlapping or adjacent: absorb into the growing range
+            lo = std::min(lo, r.first);
+            hi = std::max(hi, r.second);
+        }
+    }
+    if (!placed)
+        merged.emplace_back(lo, hi);
+    _ranges = std::move(merged);
+    if (_ranges.size() > kMaxRegions)
+        _ranges = {{_ranges.front().first, _ranges.back().second}};
+}
+
+bool
+RegionSet::intersects(std::uint64_t lo, std::uint64_t hi) const
+{
+    if (lo > hi)
+        return false;
+    for (const auto &r : _ranges)
+        if (r.first <= hi && lo <= r.second)
+            return true;
+    return false;
+}
+
+bool
+RegionSet::intersects(const RegionSet &other) const
+{
+    for (const auto &r : other._ranges)
+        if (intersects(r.first, r.second))
+            return true;
+    return false;
+}
+
+namespace {
+
+constexpr std::uint32_t kNoPc = 0xFFFFFFFFu;
+
+std::uint64_t
+satAdd(std::uint64_t a, std::uint64_t b)
+{
+    return a > ~0ull - b ? ~0ull : a + b;
+}
+
+std::uint64_t
+satMul(std::uint64_t a, std::uint64_t b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    return a > ~0ull / b ? ~0ull : a * b;
+}
+
+/**
+ * Recursive SCC-condensation bound solver. Acyclic components are
+ * bounded by the executions flowing in; a cyclic component must match
+ * the counted-loop pattern (single Blt back edge into the head, one
+ * no-wrap `Add i, i, step` with step >= 1 on every iteration path),
+ * after which its body — back edge removed — is solved again so nested
+ * loops multiply out. Anything else saturates to kUnboundedExec.
+ */
+class BoundSolver
+{
+  public:
+    BoundSolver(const MainCfg &cfg, const std::vector<RegIntervals> &in)
+        : _cfg(cfg), _in(in), _bounds(cfg.size(), 0)
+    {
+    }
+
+    std::vector<std::uint64_t>
+    take()
+    {
+        if (!_cfg.rpo().empty())
+            solveRegion(_cfg.rpo(), {{0, 1}}, 0);
+        return std::move(_bounds);
+    }
+
+  private:
+    static constexpr std::uint32_t kMaxNesting = 16;
+
+    using Edge = std::pair<std::uint32_t, std::uint32_t>;
+    using Seed = std::pair<std::uint32_t, std::uint64_t>;
+
+    bool
+    isExcluded(std::uint32_t from, std::uint32_t to) const
+    {
+        for (const Edge &e : _excluded)
+            if (e.first == from && e.second == to)
+                return true;
+        return false;
+    }
+
+    /** In-region, non-excluded successors of pc. */
+    std::uint32_t
+    regionSuccs(std::uint32_t pc, const std::vector<bool> &in_region,
+                std::uint32_t out[2]) const
+    {
+        std::uint32_t succ[2];
+        std::uint32_t edge[2];
+        std::uint32_t n = _cfg.successors(pc, succ, edge);
+        std::uint32_t kept = 0;
+        for (std::uint32_t k = 0; k < n; ++k)
+            if (in_region[succ[k]] && !isExcluded(pc, succ[k]))
+                out[kept++] = succ[k];
+        return kept;
+    }
+
+    void solveRegion(const std::vector<std::uint32_t> &nodes,
+                     const std::vector<Seed> &seeds, std::uint32_t depth);
+    void boundLoop(const std::vector<std::uint32_t> &comp,
+                   const std::vector<std::uint32_t> &scc_of,
+                   std::uint32_t my_scc, std::uint32_t head,
+                   std::uint64_t entries, std::uint32_t depth);
+    bool reachesAvoiding(const std::vector<bool> &in_comp, std::uint32_t head,
+                         std::uint32_t latch, std::uint32_t add_pc) const;
+
+    const MainCfg &_cfg;
+    const std::vector<RegIntervals> &_in;
+    std::vector<std::uint64_t> _bounds;
+    std::vector<Edge> _excluded;
+};
+
+void
+BoundSolver::solveRegion(const std::vector<std::uint32_t> &nodes,
+                         const std::vector<Seed> &seeds, std::uint32_t depth)
+{
+    std::uint32_t n = _cfg.size();
+    std::vector<bool> in_region(n, false);
+    for (std::uint32_t pc : nodes)
+        in_region[pc] = true;
+
+    // Tarjan SCC restricted to the region; components emit in reverse
+    // topological order.
+    std::vector<std::uint32_t> index(n, kNoPc);
+    std::vector<std::uint32_t> low(n, 0);
+    std::vector<bool> on_stack(n, false);
+    std::vector<std::uint32_t> scc_of(n, kNoPc);
+    std::vector<std::vector<std::uint32_t>> sccs;
+    std::vector<std::uint32_t> tstack;
+    struct Frame
+    {
+        std::uint32_t pc;
+        std::uint32_t next;
+    };
+    std::vector<Frame> frames;
+    std::uint32_t counter = 0;
+    for (std::uint32_t root : nodes) {
+        if (index[root] != kNoPc)
+            continue;
+        index[root] = low[root] = counter++;
+        tstack.push_back(root);
+        on_stack[root] = true;
+        frames.push_back({root, 0});
+        while (!frames.empty()) {
+            Frame &f = frames.back();
+            std::uint32_t succ[2];
+            std::uint32_t ns = regionSuccs(f.pc, in_region, succ);
+            if (f.next < ns) {
+                std::uint32_t s = succ[f.next++];
+                if (index[s] == kNoPc) {
+                    index[s] = low[s] = counter++;
+                    tstack.push_back(s);
+                    on_stack[s] = true;
+                    frames.push_back({s, 0});
+                } else if (on_stack[s]) {
+                    low[f.pc] = std::min(low[f.pc], index[s]);
+                }
+                continue;
+            }
+            std::uint32_t done = f.pc;
+            if (low[done] == index[done]) {
+                std::vector<std::uint32_t> comp;
+                std::uint32_t w;
+                do {
+                    w = tstack.back();
+                    tstack.pop_back();
+                    on_stack[w] = false;
+                    scc_of[w] = static_cast<std::uint32_t>(sccs.size());
+                    comp.push_back(w);
+                } while (w != done);
+                sccs.push_back(std::move(comp));
+            }
+            frames.pop_back();
+            if (!frames.empty())
+                low[frames.back().pc] =
+                    std::min(low[frames.back().pc], low[done]);
+        }
+    }
+
+    // Reverse emission = topological order: every predecessor bound is
+    // final before its consumers read it.
+    for (std::size_t s = sccs.size(); s-- > 0;) {
+        const std::vector<std::uint32_t> &comp = sccs[s];
+        std::uint32_t head = comp[0];
+        for (std::uint32_t m : comp)
+            if (_cfg.rpoIndex(m) < _cfg.rpoIndex(head))
+                head = m;
+        std::uint64_t entries = 0;
+        std::uint64_t non_head_entries = 0;
+        for (std::uint32_t m : comp) {
+            std::uint64_t at = 0;
+            for (const Seed &seed : seeds)
+                if (seed.first == m)
+                    at = satAdd(at, seed.second);
+            for (const auto &[p, e] : _cfg.preds(m)) {
+                (void)e;
+                if (!in_region[p] ||
+                    scc_of[p] == static_cast<std::uint32_t>(s) ||
+                    isExcluded(p, m))
+                    continue;
+                at = satAdd(at, _bounds[p]);
+            }
+            entries = satAdd(entries, at);
+            if (m != head)
+                non_head_entries = satAdd(non_head_entries, at);
+        }
+        bool cyclic = comp.size() > 1;
+        if (!cyclic) {
+            std::uint32_t self[2];
+            std::uint32_t k = regionSuccs(comp[0], in_region, self);
+            for (std::uint32_t j = 0; j < k; ++j)
+                if (self[j] == comp[0])
+                    cyclic = true;
+        }
+        if (!cyclic) {
+            _bounds[comp[0]] = entries;
+            continue;
+        }
+        if (entries == 0) {
+            for (std::uint32_t m : comp)
+                _bounds[m] = 0;
+            continue;
+        }
+        if (non_head_entries != 0) {
+            // Irreducible entry: not a natural loop, give up.
+            for (std::uint32_t m : comp)
+                _bounds[m] = kUnboundedExec;
+            continue;
+        }
+        boundLoop(comp, scc_of, static_cast<std::uint32_t>(s), head, entries,
+                  depth);
+    }
+}
+
+void
+BoundSolver::boundLoop(const std::vector<std::uint32_t> &comp,
+                       const std::vector<std::uint32_t> &scc_of,
+                       std::uint32_t my_scc, std::uint32_t head,
+                       std::uint64_t entries, std::uint32_t depth)
+{
+    const Program &p = _cfg.program();
+    auto fail = [&] {
+        for (std::uint32_t m : comp)
+            _bounds[m] = kUnboundedExec;
+    };
+    if (depth >= kMaxNesting)
+        return fail();
+
+    // The only in-loop edge into the head must be a Blt latch's TAKEN
+    // edge (bottom-tested counted loop).
+    std::uint32_t latch = kNoPc;
+    for (const auto &[pr, e] : _cfg.preds(head)) {
+        if (scc_of[pr] != my_scc || isExcluded(pr, head))
+            continue;
+        if (latch != kNoPc || e != 0)
+            return fail();
+        latch = pr;
+    }
+    if (latch == kNoPc)
+        return fail();
+    const Instruction &blt = p.code[latch];
+    if (blt.op != Opcode::Blt)
+        return fail();
+    Reg ireg = blt.rs1;
+    Reg breg = blt.rs2;
+    if (ireg >= kNumRegs || breg >= kNumRegs || ireg == breg)
+        return fail();
+
+    // Exactly one in-loop definition of the induction register: an Add
+    // of a step that is provably >= 1 and cannot wrap.
+    std::uint32_t add_pc = kNoPc;
+    for (std::uint32_t m : comp) {
+        const Instruction &ins = p.code[m];
+        if (!hasDest(ins.op) || ins.rd != ireg)
+            continue;
+        if (add_pc != kNoPc)
+            return fail();
+        add_pc = m;
+    }
+    if (add_pc == kNoPc)
+        return fail();
+    const Instruction &add = p.code[add_pc];
+    if (add.op != Opcode::Add || (add.rs1 != ireg && add.rs2 != ireg))
+        return fail();
+    Reg step_reg = add.rs1 == ireg ? add.rs2 : add.rs1;
+    if (step_reg >= kNumRegs || step_reg == ireg)
+        return fail();
+    if (!_in[add_pc].reachable)
+        return fail();
+    Interval step = _in[add_pc].of(step_reg);
+    Interval i_at_add = _in[add_pc].of(ireg);
+    if (step.empty() || step.lo < 1 || i_at_add.empty() ||
+        i_at_add.hi > ~0ull - step.hi)
+        return fail();
+
+    // Every head->latch path must pass the Add, so each iteration
+    // advances the induction register.
+    std::vector<bool> in_comp(_cfg.size(), false);
+    for (std::uint32_t m : comp)
+        in_comp[m] = true;
+    if (add_pc != head && reachesAvoiding(in_comp, head, latch, add_pc))
+        return fail();
+
+    // Blt compares SIGNED: the trip count is only valid when both
+    // operands provably stay in [0, 2^63).
+    constexpr std::uint64_t kSignBit = 1ull << 63;
+    if (!_in[latch].reachable || !_in[head].reachable)
+        return fail();
+    Interval iv_i = _in[latch].of(ireg);
+    Interval iv_b = _in[latch].of(breg);
+    Interval iv_init = _in[head].of(ireg);
+    if (iv_i.empty() || iv_b.empty() || iv_init.empty() ||
+        iv_i.hi >= kSignBit || iv_b.hi >= kSignBit)
+        return fail();
+
+    // i starts >= init_lo and gains >= step.lo per iteration; the back
+    // edge needs i < b <= limit_hi (signed == unsigned here).
+    std::uint64_t init_lo = iv_init.lo;
+    std::uint64_t limit_hi = iv_b.hi;
+    std::uint64_t takes =
+        limit_hi <= init_lo ? 0 : (limit_hi - 1 - init_lo) / step.lo + 1;
+    std::uint64_t head_exec = satMul(entries, satAdd(1, takes));
+
+    // Body bounds: re-solve the loop with its back edge removed; inner
+    // loops recurse through the same pattern and multiply out.
+    _excluded.push_back({latch, head});
+    solveRegion(comp, {{head, head_exec}}, depth + 1);
+    _excluded.pop_back();
+}
+
+bool
+BoundSolver::reachesAvoiding(const std::vector<bool> &in_comp,
+                             std::uint32_t head, std::uint32_t latch,
+                             std::uint32_t add_pc) const
+{
+    std::vector<bool> visited(_cfg.size(), false);
+    std::vector<std::uint32_t> work{head};
+    visited[head] = true;
+    while (!work.empty()) {
+        std::uint32_t pc = work.back();
+        work.pop_back();
+        if (pc == latch)
+            return true;
+        if (pc == add_pc)
+            continue;  // the increment blocks this path
+        std::uint32_t succ[2];
+        std::uint32_t ns = regionSuccs(pc, in_comp, succ);
+        for (std::uint32_t k = 0; k < ns; ++k) {
+            if (!visited[succ[k]]) {
+                visited[succ[k]] = true;
+                work.push_back(succ[k]);
+            }
+        }
+    }
+    return false;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t>
+computeExecBounds(const MainCfg &cfg,
+                  const std::vector<RegIntervals> &intervalIn)
+{
+    return BoundSolver(cfg, intervalIn).take();
+}
+
+DataflowFacts::DataflowFacts(const Program &program) : cfg(program)
+{
+    IntervalDomain intervals(program);
+    intervalIn = solveForward(cfg, intervals);
+    defsIn = solveForward(cfg, ReachingDefsDomain{});
+    execBound = computeExecBounds(cfg, intervalIn);
+    for (std::uint32_t pc = 0; pc < cfg.size(); ++pc) {
+        if (program.code[pc].op != Opcode::St)
+            continue;
+        if (auto region = accessRegion(pc))
+            storeFootprint.add(region->first, region->second);
+    }
+}
+
+Interval
+DataflowFacts::regAt(std::uint32_t pc, Reg r) const
+{
+    if (pc >= intervalIn.size() || !intervalIn[pc].reachable)
+        return Interval::all();
+    return intervalIn[pc].of(r);
+}
+
+std::optional<std::pair<std::uint64_t, std::uint64_t>>
+DataflowFacts::accessRegion(std::uint32_t pc) const
+{
+    if (pc >= cfg.size() || !reached(pc))
+        return std::nullopt;
+    const Instruction &i = cfg.program().code[pc];
+    if (i.op != Opcode::Ld && i.op != Opcode::St && i.op != Opcode::Rcmp)
+        return std::nullopt;
+    Interval base = intervalIn[pc].of(i.rs1);
+    if (base.empty())
+        base = Interval::all();
+    // The machine adds the displacement with wrapping u64 arithmetic:
+    // shifting is exact when both corners wrap the same way, otherwise
+    // the range straddles the wrap point and only top is sound.
+    std::uint64_t disp = static_cast<std::uint64_t>(i.imm);
+    std::uint64_t alo = base.lo + disp;
+    std::uint64_t ahi = base.hi + disp;
+    if ((base.lo > ~0ull - disp) != (base.hi > ~0ull - disp)) {
+        alo = 0;
+        ahi = ~0ull;
+    }
+    std::uint64_t byte_hi = ahi > ~0ull - 7 ? ~0ull : ahi + 7;
+    return std::make_pair(alo, byte_hi);
+}
+
+const std::vector<std::uint32_t> &
+DataflowFacts::reachingDefs(std::uint32_t pc, Reg r) const
+{
+    static const std::vector<std::uint32_t> kEmpty;
+    if (pc >= defsIn.size() || r >= kNumRegs || !defsIn[pc].reachable)
+        return kEmpty;
+    return defsIn[pc].defs[r];
+}
+
+}  // namespace amnesiac

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * The shipped abstract domains for the dataflow engine (dataflow.h):
+ *
+ *  - value-range intervals per register (unsigned 64-bit, with
+ *    threshold widening and branch-edge refinement),
+ *  - memory-footprint regions (byte-range summaries of load/store/RCMP
+ *    address sets),
+ *  - loop trip-count execution bounds (SCC-based counted-loop
+ *    recognition on top of the interval results), and
+ *  - reaching definitions per register (finite, widening-free).
+ *
+ * DataflowFacts bundles one solved instance of everything for a
+ * program; the AMN7xx/AMN8xx passes and the compiler's static candidate
+ * pruner all consume the same facts.
+ *
+ * Soundness contract: every fact OVER-approximates runtime behavior —
+ * an interval contains every value the register can hold at that pc, a
+ * footprint contains every byte the instruction can touch, an exec
+ * bound is >= the true dynamic count (kUnboundedExec when unknown), and
+ * a reaching-def set contains every definition that can dynamically
+ * flow there. Consumers may only prune/diagnose on facts that hold for
+ * ALL members of the abstract value.
+ */
+
+#ifndef AMNESIAC_ANALYSIS_DOMAINS_H
+#define AMNESIAC_ANALYSIS_DOMAINS_H
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "analysis/dataflow.h"
+#include "isa/program.h"
+
+namespace amnesiac {
+
+/** Unsigned 64-bit value interval. lo > hi encodes the empty interval;
+ * the default-constructed value is top (the full range). */
+struct Interval
+{
+    std::uint64_t lo = 0;
+    std::uint64_t hi = ~0ull;
+
+    static Interval all() { return {}; }
+    static Interval none() { return {1, 0}; }
+    static Interval constant(std::uint64_t v) { return {v, v}; }
+    static Interval range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return {lo, hi};
+    }
+
+    bool empty() const { return lo > hi; }
+    bool singleton() const { return lo == hi; }
+    bool isTop() const { return lo == 0 && hi == ~0ull; }
+    bool
+    contains(std::uint64_t v) const
+    {
+        return lo <= v && v <= hi;
+    }
+
+    bool
+    operator==(const Interval &o) const
+    {
+        if (empty() && o.empty())
+            return true;
+        return lo == o.lo && hi == o.hi;
+    }
+};
+
+/** Smallest interval containing both (lattice join). */
+Interval intervalJoin(const Interval &a, const Interval &b);
+
+/** Intersection (lattice meet); may be empty. */
+Interval intervalMeet(const Interval &a, const Interval &b);
+
+/**
+ * Abstract evaluation of one sliceable instruction over intervals:
+ * returns an interval containing evalAlu(op, a, b, imm) for every
+ * a in `a`, b in `b`. Falls back to top whenever wrap-around or a
+ * non-monotone case (floats, mixed shifts) would make the bound lie.
+ */
+Interval evalInterval(Opcode op, const Interval &a, const Interval &b,
+                      std::int64_t imm);
+
+/** Per-register interval state at one program point. `reachable` false
+ * is the lattice bottom (code not reached on any path). */
+struct RegIntervals
+{
+    bool reachable = false;
+    std::array<Interval, kNumRegs> reg{};
+
+    /** Interval of a register (top for invalid encodings). */
+    const Interval &
+    of(Reg r) const
+    {
+        static const Interval top{};
+        return r < kNumRegs ? reg[r] : top;
+    }
+};
+
+/**
+ * Forward interval domain. Entry state: every register [0,0] (the
+ * machine zero-initializes the register file). Widening jumps interval
+ * endpoints to a per-program threshold set (all Li immediates and their
+ * successors, the data-image size, the signed-compare boundary) so
+ * counted loops keep usable bounds; branch refinement trims intervals
+ * along Beq/Bne edges and — for Blt, whose comparison is SIGNED — along
+ * both edges whenever both operands provably stay in [0, 2^63).
+ */
+class IntervalDomain
+{
+  public:
+    explicit IntervalDomain(const Program &program);
+
+    using Value = RegIntervals;
+
+    Value bottom() const { return {}; }
+    Value entry() const;
+    bool join(Value &into, const Value &from) const;
+    void widen(Value &into, const Value &prev) const;
+    Value transfer(std::uint32_t pc, const Instruction &instr,
+                   const Value &in) const;
+    bool refineEdge(std::uint32_t pc, const Instruction &instr,
+                    std::uint32_t edge, Value &v) const;
+
+  private:
+    std::uint64_t widenDown(std::uint64_t lo) const;
+    std::uint64_t widenUp(std::uint64_t hi) const;
+
+    std::vector<std::uint64_t> _thresholds;  ///< sorted, unique
+};
+
+/** Reaching definitions: for each register, the set of main-code pcs
+ * whose definition can reach this point. An empty set means only the
+ * initial (zero) register value reaches. */
+struct RegDefs
+{
+    bool reachable = false;
+    std::array<std::vector<std::uint32_t>, kNumRegs> defs;  ///< sorted pcs
+};
+
+/** Forward reaching-definitions domain (finite: no widening). */
+class ReachingDefsDomain
+{
+  public:
+    using Value = RegDefs;
+
+    Value bottom() const { return {}; }
+    Value
+    entry() const
+    {
+        Value v;
+        v.reachable = true;
+        return v;
+    }
+    bool join(Value &into, const Value &from) const;
+    Value transfer(std::uint32_t pc, const Instruction &instr,
+                   const Value &in) const;
+};
+
+/**
+ * A set of byte ranges (inclusive endpoints), kept sorted and disjoint.
+ * Adding beyond the region cap collapses the set to its convex hull —
+ * still an over-approximation, never a lie.
+ */
+class RegionSet
+{
+  public:
+    /** Maximum distinct ranges before hull collapse. */
+    static constexpr std::size_t kMaxRegions = 64;
+
+    void add(std::uint64_t lo, std::uint64_t hi);
+    bool intersects(std::uint64_t lo, std::uint64_t hi) const;
+    bool intersects(const RegionSet &other) const;
+    bool empty() const { return _ranges.empty(); }
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>> &
+    ranges() const { return _ranges; }
+
+  private:
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> _ranges;
+};
+
+/** Exec-bound sentinel: the static analysis cannot bound the count. */
+inline constexpr std::uint64_t kUnboundedExec = ~0ull;
+
+/**
+ * Per-pc execution-count upper bounds from SCC decomposition: straight
+ * line code is bounded by its predecessors' bounds; a cyclic SCC gets a
+ * finite bound only when it matches the counted-loop pattern (single
+ * Blt back edge, single in-loop `Add i, i, step` induction update with
+ * step >= 1 executed on every iteration, interval-bounded limit, no
+ * wrap) — otherwise kUnboundedExec.
+ */
+std::vector<std::uint64_t>
+computeExecBounds(const MainCfg &cfg,
+                  const std::vector<RegIntervals> &intervalIn);
+
+/**
+ * Everything the consumers need, solved once per program: the CFG, the
+ * interval and reaching-def in-states per main-code pc, exec bounds,
+ * and the union footprint of every reachable store.
+ */
+struct DataflowFacts
+{
+    explicit DataflowFacts(const Program &program);
+
+    MainCfg cfg;
+    /** Interval in-state per main-code pc. */
+    std::vector<RegIntervals> intervalIn;
+    /** Reaching-definition in-state per main-code pc. */
+    std::vector<RegDefs> defsIn;
+    /** Execution-count upper bound per main-code pc. */
+    std::vector<std::uint64_t> execBound;
+    /** Union of every reachable main-code store's byte footprint. */
+    RegionSet storeFootprint;
+
+    /** Interval of register r on entry to pc (top when out of range). */
+    Interval regAt(std::uint32_t pc, Reg r) const;
+
+    /** True when the interval analysis proves pc can be reached. */
+    bool
+    reached(std::uint32_t pc) const
+    {
+        return pc < intervalIn.size() && intervalIn[pc].reachable;
+    }
+
+    /**
+     * Byte footprint (inclusive endpoints) of the memory access at pc
+     * (Ld/St/Rcmp): every byte the access can touch. nullopt when pc is
+     * not a reachable memory access.
+     */
+    std::optional<std::pair<std::uint64_t, std::uint64_t>>
+    accessRegion(std::uint32_t pc) const;
+
+    /** Reaching definitions of register r on entry to pc. */
+    const std::vector<std::uint32_t> &reachingDefs(std::uint32_t pc,
+                                                   Reg r) const;
+};
+
+}  // namespace amnesiac
+
+#endif  // AMNESIAC_ANALYSIS_DOMAINS_H

@@ -465,4 +465,161 @@ runCostPass(const AnalysisContext &ctx, const AnalyzerOptions &options,
     }
 }
 
+void
+runValueRangePass(const AnalysisContext &ctx, const DataflowFacts &facts,
+                  AnalysisReport &report)
+{
+    const Program &p = ctx.program();
+    std::uint64_t mem_bytes = p.memBytes();
+
+    for (std::uint32_t pc = 0; pc < facts.cfg.size(); ++pc) {
+        const Instruction &i = p.code[pc];
+        bool is_access = i.op == Opcode::Ld || i.op == Opcode::St ||
+                         i.op == Opcode::Rcmp;
+
+        // AMN702: the CFG reaches this guard but the interval analysis
+        // proves no execution ever does (an infeasible branch path).
+        if (i.op == Opcode::Rcmp && ctx.mainReachable(pc) &&
+            !facts.reached(pc)) {
+            report.add("AMN702", Severity::Warning,
+                       "RCMP guard is provably dead: no feasible path "
+                       "reaches it")
+                .at(pc)
+                .inSlice(i.sliceId)
+                .note("its slice, RECs, and Hist entries are retained "
+                      "state that can never pay off");
+            continue;
+        }
+
+        if (!is_access)
+            continue;
+        auto region = facts.accessRegion(pc);
+        if (!region)
+            continue;  // unreachable: nothing to bound
+
+        // AMN701: every feasible value of the base register faults.
+        if (region->first >= mem_bytes) {
+            report.add("AMN701", Severity::Error,
+                       cat("memory access is out of range on every "
+                           "feasible path: bytes [", region->first, ", ",
+                           region->second, "] vs ", mem_bytes,
+                           " bytes of data memory"))
+                .at(pc)
+                .note("executing this instruction faults the machine");
+            continue;
+        }
+        std::uint64_t addr_lo = region->first;
+        std::uint64_t addr_hi = region->second >= 7 ? region->second - 7
+                                                    : region->first;
+        if (addr_lo == addr_hi && addr_lo % 8 != 0)
+            report.add("AMN701", Severity::Error,
+                       cat("memory access address ", addr_lo,
+                           " is provably misaligned (8-byte accesses "
+                           "only)"))
+                .at(pc)
+                .note("executing this instruction faults the machine");
+    }
+
+    // AMN703: a slice with no Hist operands whose Live inputs are all
+    // known singletons recomputes a compile-time constant.
+    for (std::uint32_t rcmp_pc : ctx.rcmpPcs()) {
+        if (!facts.reached(rcmp_pc))
+            continue;
+        const Instruction &rcmp = p.code[rcmp_pc];
+        const SliceBlock *block = blockById(ctx, rcmp.sliceId);
+        if (block == nullptr || block->truncated ||
+            block->histOperandCount != 0)
+            continue;
+        bool all_const = true;
+        for (std::uint32_t pc = block->entry;
+             all_const && pc < block->end; ++pc) {
+            const Instruction &i = p.code[pc];
+            if (!isSliceable(i.op))
+                continue;  // AMN101 territory
+            int sources = numSources(i.op);
+            if (sources >= 1 && i.src1 == OperandSource::Live &&
+                !facts.regAt(rcmp_pc, i.rs1).singleton())
+                all_const = false;
+            if (sources >= 2 && i.src2 == OperandSource::Live &&
+                !facts.regAt(rcmp_pc, i.rs2).singleton())
+                all_const = false;
+        }
+        if (all_const)
+            report.add("AMN703", Severity::Note,
+                       "slice output is a compile-time constant: no "
+                       "Hist operands and every Live input is a known "
+                       "singleton at the RCMP")
+                .at(rcmp_pc)
+                .inSlice(rcmp.sliceId)
+                .note("an Li of the folded value would replace the "
+                      "whole recomputation apparatus");
+    }
+}
+
+void
+runCheckpointPass(const AnalysisContext &ctx, const DataflowFacts &facts,
+                  const AnalyzerOptions &options, AnalysisReport &report)
+{
+    const Program &p = ctx.program();
+
+    for (const SliceBlock &block : ctx.blocks()) {
+        if (block.truncated)
+            continue;
+        // AMN801: each Hist operand snapshots a 16-byte rs1/rs2 pair;
+        // together they are the slice's non-recomputable footprint.
+        std::uint64_t hist_bytes =
+            static_cast<std::uint64_t>(block.histOperandCount) * 16;
+        if (hist_bytes > options.checkpointBudgetBytes)
+            report.add("AMN801", Severity::Warning,
+                       cat("slice checkpoints ", hist_bytes,
+                           " bytes of Hist state but the checkpoint "
+                           "budget is ", options.checkpointBudgetBytes,
+                           " bytes"))
+                .at(block.entry)
+                .inSlice(block.meta.id)
+                .note("the amnesic premise is that recomputation "
+                      "metadata stays small next to the data it "
+                      "replaces (§3.4)");
+        // AMN802: a recomputation this deep exceeds the configured
+        // depth bound (IBuff sizing, abort-window length).
+        std::uint32_t depth = block.end - block.entry;
+        if (depth > options.maxRecomputeDepth)
+            report.add("AMN802", Severity::Warning,
+                       cat("recompute depth ", depth,
+                           " exceeds the configured bound ",
+                           options.maxRecomputeDepth))
+                .at(block.entry)
+                .inSlice(block.meta.id);
+    }
+
+    // AMN803: two or more reachable stores may write the bytes an RCMP
+    // reloads. The slice recomputes the value of ONE producer; with
+    // several feasible writers the reload-vs-recompute equivalence
+    // rests entirely on the profiled stability, so surface the hazard.
+    for (std::uint32_t rcmp_pc : ctx.rcmpPcs()) {
+        auto target = facts.accessRegion(rcmp_pc);
+        if (!target)
+            continue;
+        std::uint32_t writers = 0;
+        for (std::uint32_t pc = 0; pc < facts.cfg.size(); ++pc) {
+            if (p.code[pc].op != Opcode::St)
+                continue;
+            auto store = facts.accessRegion(pc);
+            if (!store)
+                continue;
+            if (store->first <= target->second &&
+                target->first <= store->second)
+                ++writers;
+        }
+        if (writers >= 2)
+            report.add("AMN803", Severity::Note,
+                       cat(writers, " distinct reachable stores may "
+                           "alias this RCMP's target region"))
+                .at(rcmp_pc)
+                .inSlice(p.code[rcmp_pc].sliceId)
+                .note("a second writer between checkpoint and reload "
+                      "would make the recomputed value stale");
+    }
+}
+
 }  // namespace amnesiac

@@ -10,9 +10,15 @@
  *   termination  AMN401-AMN405  RTN sealing, region isolation, reachability
  *   integrity    AMN501-AMN504  RCMP/slice cross-references and layout
  *   cost         AMN601-AMN602  recomputation can actually pay off
+ *   valuerange   AMN701-AMN703  interval facts: bounds, dead guards,
+ *                               constant-input slices
+ *   checkpoint   AMN801-AMN803  checkpointability: Hist footprint,
+ *                               recompute depth, multi-writer aliasing
  *
  * The structure pass runs on the raw program (it guards the context
- * build); every other pass consumes the shared AnalysisContext.
+ * build); every other pass consumes the shared AnalysisContext. The
+ * valuerange/checkpoint passes additionally consume the solved
+ * DataflowFacts (domains.h), shared with the compiler's static pruner.
  */
 
 #ifndef AMNESIAC_ANALYSIS_PASSES_H
@@ -20,6 +26,7 @@
 
 #include "analysis/context.h"
 #include "analysis/diagnostic.h"
+#include "analysis/domains.h"
 #include "energy/epi.h"
 
 namespace amnesiac {
@@ -33,6 +40,12 @@ struct AnalyzerOptions
     std::uint32_t histCapacity = 600;
     /** Energy model for the §3.1.1 break-even sanity check. */
     EnergyConfig energy;
+    /** Per-slice Hist-state budget (bytes) the checkpoint pass warns
+     * against: each Hist operand snapshots a 16-byte rs1/rs2 pair. */
+    std::uint32_t checkpointBudgetBytes = 4096;
+    /** Recompute-depth bound (body instructions) the checkpoint pass
+     * warns against; mirrors SliceBuilderConfig::maxInstrs. */
+    std::uint32_t maxRecomputeDepth = 72;
 };
 
 /** AMN001 empty program, AMN002 codeEnd out of range, AMN003 bad
@@ -73,6 +86,22 @@ void runIntegrityPass(const AnalysisContext &ctx, AnalysisReport &report);
  * metadata records an unprofitable selection (Erc >= Eld). */
 void runCostPass(const AnalysisContext &ctx,
                  const AnalyzerOptions &options, AnalysisReport &report);
+
+/** AMN701 memory access provably out of range or misaligned on every
+ * path that reaches it, AMN702 RCMP guard on interval-unreachable code
+ * (provably dead), AMN703 slice whose inputs are all compile-time
+ * constants (no Hist operands, every Live input a known singleton). */
+void runValueRangePass(const AnalysisContext &ctx,
+                       const DataflowFacts &facts, AnalysisReport &report);
+
+/** AMN801 slice Hist snapshot state exceeds the checkpoint budget,
+ * AMN802 recompute depth exceeds the configured bound, AMN803 multiple
+ * reachable stores may alias an RCMP's target region (staleness
+ * hazard for the recompute-vs-reload equivalence argument). */
+void runCheckpointPass(const AnalysisContext &ctx,
+                       const DataflowFacts &facts,
+                       const AnalyzerOptions &options,
+                       AnalysisReport &report);
 
 }  // namespace amnesiac
 

@@ -1,10 +1,12 @@
 #include "core/compiler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <unordered_map>
 
 #include "analysis/analyzer.h"
+#include "analysis/prune.h"
 #include "core/cost_model.h"
 #include "core/dry_run.h"
 #include "profile/profiler.h"
@@ -26,8 +28,36 @@ AmnesicCompiler::compile(const Program &input) const
                         input.codeEnd == input.code.size(),
                     "input binary already contains slices");
 
+    using Clock = std::chrono::steady_clock;
+    CompileResult result;
+
+    // --- pass 0: static candidate pruning (fixpoint dataflow) ---
+    // Rules the abstract interpretation can decide ahead of execution
+    // (dead/cold sites, read-only inputs, slice-free value flows) are
+    // decided here, so the dynamic profiler skips the per-instance tree
+    // work for them. Conservative only: see CompilerConfig::prune.
+    ProfilerConfig prof_config;
+    if (_config.prune) {
+        auto t0 = Clock::now();
+        DataflowFacts facts(input);
+        StaticPruneOptions prune_opts;
+        prune_opts.minSiteCount = _config.minSiteCount;
+        prune_opts.profitabilityMargin = _config.profitabilityMargin;
+        prune_opts.budgetMargin = _config.builder.budgetMargin;
+        prune_opts.oracleSet = _config.oracleSet;
+        prune_opts.energy = &_energy;
+        StaticPruneResult pruned =
+            computeStaticPrune(input, facts, prune_opts);
+        result.analysisSec +=
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        result.stats.prunedSites = pruned.prunedSites;
+        result.stats.prunedProductions = pruned.prunedProductions;
+        prof_config.skipSiteAnalysis = std::move(pruned.skipSiteAnalysis);
+        prof_config.opaqueProduction = std::move(pruned.opaqueProduction);
+    }
+
     // --- pass 1: dependence + residence profiling (§3.1.1, §4) ---
-    Profiler profiler;
+    Profiler profiler(prof_config);
     {
         Machine machine(input, _energy, _hierarchy);
         machine.setObserver(&profiler);
@@ -36,7 +66,6 @@ AmnesicCompiler::compile(const Program &input) const
 
     CostModel cost(_energy);
     SliceBuilder builder(_energy, _config.builder);
-    CompileResult result;
 
     // Global per-level residence distribution (the paper's Pr_Li model).
     std::array<double, kNumMemLevels> global_pr{};
@@ -131,7 +160,10 @@ AmnesicCompiler::compile(const Program &input) const
     // machine corrupt state later.
     AnalyzerOptions lint;
     lint.energy = _energy.config();
+    auto gate_t0 = Clock::now();
     AnalysisReport report = analyzeProgram(result.program, lint);
+    result.analysisSec +=
+        std::chrono::duration<double>(Clock::now() - gate_t0).count();
     if (report.hasErrors())
         AMNESIAC_FATAL(std::string("compiler emitted an ill-formed "
                                    "binary:\n") +

@@ -49,6 +49,17 @@ struct CompilerConfig
      * per dynamic instance.
      */
     bool oracleSet = false;
+    /**
+     * Run the static candidate pruner before dynamic profiling: a
+     * fixpoint dataflow solve (value ranges, reaching defs, trip-count
+     * bounds, store footprints) discards productions and load sites
+     * that provably cannot survive selection, so the profiler skips
+     * their per-instance tree work. Conservative-only: the selected
+     * candidate set and the emitted binary are byte-identical with and
+     * without pruning — only compile time changes. Excluded from the
+     * canonical experiment config string for the same reason.
+     */
+    bool prune = true;
     /** Runaway guard for the profiling simulations. */
     std::uint64_t runLimit = 1ull << 32;
 };
@@ -72,6 +83,10 @@ struct CompileStats
      * surviving severities). */
     std::uint64_t analysisWarnings = 0;
     std::uint64_t analysisNotes = 0;
+    /** Load sites the static pruner excused from tree analysis. */
+    std::uint64_t prunedSites = 0;
+    /** Reachable sliceable productions replaced by opaque sentinels. */
+    std::uint64_t prunedProductions = 0;
 };
 
 /** Output of the compiler pass. */
@@ -82,6 +97,9 @@ struct CompileResult
     /** The selected slices; index == slice id in the binary. */
     std::vector<RSlice> slices;
     CompileStats stats;
+    /** Wall-clock seconds spent in static analysis: the pre-profiling
+     * dataflow solve + pruner plus the post-compile analysis gate. */
+    double analysisSec = 0.0;
 };
 
 /**

@@ -36,4 +36,26 @@ Program::loadCount() const
                       }));
 }
 
+std::uint32_t
+instrSuccessors(const Instruction &instr, std::uint32_t pc,
+                std::uint32_t out[2])
+{
+    switch (instr.op) {
+    case Opcode::Halt:
+        return 0;
+    case Opcode::Jmp:
+        out[0] = instr.target;
+        return 1;
+    case Opcode::Beq:
+    case Opcode::Bne:
+    case Opcode::Blt:
+        out[0] = instr.target;  // taken first: refinement keys on index
+        out[1] = pc + 1;
+        return 2;
+    default:
+        out[0] = pc + 1;
+        return 1;
+    }
+}
+
 }  // namespace amnesiac

@@ -92,6 +92,18 @@ class Program
     std::size_t loadCount() const;
 };
 
+/**
+ * Static control-flow successors of a main-code instruction, shared by
+ * every CFG construction (AnalysisContext, the dataflow engine): Halt
+ * has none, Jmp goes to its target, conditional branches fall out as
+ * {taken, fall-through}, everything else falls through.
+ *
+ * @param out receives up to 2 successor pcs
+ * @return number of successors written
+ */
+std::uint32_t instrSuccessors(const Instruction &instr, std::uint32_t pc,
+                              std::uint32_t out[2]);
+
 }  // namespace amnesiac
 
 #endif  // AMNESIAC_ISA_PROGRAM_H

@@ -19,18 +19,20 @@ fnv1aDigest(std::string_view bytes)
 std::string
 renderManifestJson(const RunManifest &manifest)
 {
-    char buf[640];
+    char buf[768];
     std::snprintf(
         buf, sizeof(buf),
         "{\"configDigest\":\"%016" PRIx64 "\",\"seed\":%" PRIu64
         ",\"jobsRequested\":%u,\"jobsEffective\":%u,"
+        "\"prunedCandidates\":%" PRIu64 ","
         "\"phases\":{\"classicSec\":%.6f,\"compileSec\":%.6f,"
-        "\"simulateSec\":%.6f,\"totalSec\":%.6f},"
+        "\"analysisSec\":%.6f,\"simulateSec\":%.6f,\"totalSec\":%.6f},"
         "\"pool\":{\"jobsExecuted\":%" PRIu64
         ",\"queueWaitSec\":%.6f,\"workerBusySec\":%.6f}}",
         manifest.configDigest, manifest.seed, manifest.jobsRequested,
-        manifest.jobsEffective, manifest.phases.classicSec,
-        manifest.phases.compileSec, manifest.phases.simulateSec,
+        manifest.jobsEffective, manifest.prunedCandidates,
+        manifest.phases.classicSec, manifest.phases.compileSec,
+        manifest.phases.analysisSec, manifest.phases.simulateSec,
         manifest.phases.totalSec, manifest.pool.jobsExecuted,
         manifest.pool.queueWaitSec, manifest.pool.workerBusySec);
     return buf;

@@ -27,6 +27,7 @@ struct PhaseTimes
 {
     double classicSec = 0.0;   ///< classic (baseline) simulation
     double compileSec = 0.0;   ///< both compiles (prob + oracle sets)
+    double analysisSec = 0.0;  ///< static analysis share of compileSec
     double simulateSec = 0.0;  ///< all amnesic policy simulations
     double totalSec = 0.0;     ///< end-to-end, including merge overhead
 };
@@ -47,6 +48,10 @@ struct RunManifest
     std::uint64_t seed = 0;
     unsigned jobsRequested = 0;
     unsigned jobsEffective = 1;
+    /** Candidates discarded by the static pruner (both compiles).
+     * Deterministic: a pure function of program + config, never of
+     * scheduling — rendered inside the determinism-witness prefix. */
+    std::uint64_t prunedCandidates = 0;
     PhaseTimes phases;
     PoolStats pool;
 };

@@ -201,6 +201,19 @@ DepTracker::onLoad(std::uint32_t pc, const Instruction &instr,
 }
 
 void
+DepTracker::onOpaque(Reg rd)
+{
+    if (_opaque == kNoNode) {
+        // alloc's refcount-1 is the tracker's permanent hold: the
+        // sentinel survives every register/memory overwrite.
+        _opaque = alloc();
+        _nodes[_opaque].kind = ProducerNode::Kind::Truncated;
+    }
+    ref(_opaque);
+    setReg(rd, _opaque);
+}
+
+void
 DepTracker::onStore(const Instruction &instr, std::uint64_t addr)
 {
     NodeId incoming = _regs[instr.rs2];

@@ -117,6 +117,18 @@ class DepTracker
     void onLoad(std::uint32_t pc, const Instruction &instr,
                 std::uint64_t addr, std::uint64_t value);
 
+    /**
+     * Record a production the static pruner proved can never appear in
+     * a surviving slice tree: the destination register is pointed at a
+     * shared opaque sentinel instead of a real linked node. No operand
+     * evaluation, no per-instance allocation, and no sequence-number
+     * bump — the relative seq order of real productions is untouched,
+     * so the trees the builder sees are byte-for-byte the same as in an
+     * unpruned run (the sentinel, like an untracked origin, only ever
+     * flows into loads whose analysis is itself skipped).
+     */
+    void onOpaque(Reg rd);
+
     /** Record a store: memory inherits the stored value's producer. */
     void onStore(const Instruction &instr, std::uint64_t addr);
 
@@ -189,6 +201,9 @@ class DepTracker
     std::array<NodeId, kNumRegs> _regs;
     std::unordered_map<std::uint64_t, NodeId> _mem;  ///< word addr -> node
     std::uint64_t _seq = 0;
+    /** Shared sentinel for onOpaque (lazily allocated; the tracker's
+     * own reference keeps it alive for the tracker's lifetime). */
+    NodeId _opaque = kNoNode;
 };
 
 /**

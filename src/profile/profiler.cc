@@ -42,6 +42,11 @@ Profiler::onExec(const ExecutionEngine &m, std::uint32_t pc,
 {
     ++_execCounts[pc];
     if (isSliceable(instr.op)) {
+        if (pc < _config.opaqueProduction.size() &&
+            _config.opaqueProduction[pc]) {
+            _tracker.onOpaque(instr.rd);
+            return;
+        }
         // Mirror the execution so the tracker can link producers. The
         // observer fires pre-execution, so source registers still hold
         // the instruction's inputs.
@@ -65,6 +70,12 @@ Profiler::onLoad(const ExecutionEngine &m, std::uint32_t pc, std::uint64_t addr,
 
     const Instruction &instr = m.program().code[pc];
     _tracker.onLoad(pc, instr, addr, value);
+
+    // The tracker update above must still run (later loads of the same
+    // word depend on it); only the per-instance tree walk is skippable.
+    if (pc < _config.skipSiteAnalysis.size() &&
+        _config.skipSiteAnalysis[pc])
+        return;
 
     NodeId root = _tracker.regProducer(instr.rd);
     if (root == kNoNode ||

@@ -28,6 +28,19 @@ struct ProfilerConfig
     int maxTreeNodes = 256;
     /** Distinct tree shapes remembered per site before giving up. */
     std::size_t maxDistinctTrees = 8;
+    /**
+     * Static-pruner masks, indexed by pc (empty = profile everything).
+     * A set `opaqueProduction` bit replaces that production with a
+     * shared sentinel node (no ALU mirroring, no per-instance node
+     * linking); a set `skipSiteAnalysis` bit suppresses tree analysis
+     * at that load site (residence counts and value locality are still
+     * recorded). Both come with a conservative-only contract: the
+     * pruner only sets bits it proved cannot change which candidates
+     * the compiler selects, so profiles of surviving sites are
+     * byte-identical with and without the masks.
+     */
+    std::vector<std::uint8_t> opaqueProduction;
+    std::vector<std::uint8_t> skipSiteAnalysis;
 };
 
 /** One remembered backward-slice shape at a load site. */

@@ -132,6 +132,10 @@ ExperimentRunner::canonicalConfigString(const ExperimentConfig &config)
     u64("l2Ways", h.l2.ways);
     u64("l2Line", h.l2.lineBytes);
 
+    // `compiler.prune` is deliberately absent, like `jobs`: the pruner
+    // carries a conservative-only contract (identical selected set and
+    // binary either way), so prune on/off runs rightly share a digest —
+    // and the perf-smoke harness holds it to that claim.
     const CompilerConfig &c = config.compiler;
     u64("sliceMaxInstrs", c.builder.maxInstrs);
     u64("sliceMaxHeight", c.builder.maxHeight);
@@ -227,6 +231,13 @@ ExperimentRunner::prepare(BenchmarkResult &result,
                 [&tasks](std::size_t i) { tasks[i](); });
     result.manifest.phases.compileSec =
         normal_compile_sec + oracle_compile_sec;
+    result.manifest.phases.analysisSec =
+        result.compiled.analysisSec + result.oracleCompiled.analysisSec;
+    result.manifest.prunedCandidates =
+        result.compiled.stats.prunedSites +
+        result.compiled.stats.prunedProductions +
+        result.oracleCompiled.stats.prunedSites +
+        result.oracleCompiled.stats.prunedProductions;
 
     // Pre-simulation analysis gate: every binary about to be simulated
     // must lint clean against the *configured* machine (the compiler's

@@ -199,6 +199,12 @@ fillMetrics(MetricsRegistry &metrics,
         phase("compile", m.phases.compileSec);
         phase("simulate", m.phases.simulateSec);
         phase("total", m.phases.totalSec);
+        metrics.gaugeSet("amnesiac_analysis_pass_seconds{workload=\"" +
+                             w + "\"}",
+                         m.phases.analysisSec);
+        metrics.counterAdd("amnesiac_candidates_pruned_total{workload=\"" +
+                               w + "\"}",
+                           static_cast<double>(m.prunedCandidates));
         metrics.gaugeSet("amnesiac_jobs_effective{workload=\"" + w + "\"}",
                          m.jobsEffective);
         metrics.gaugeSet("amnesiac_pool_jobs_executed",

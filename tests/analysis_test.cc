@@ -118,9 +118,31 @@ TEST(Analysis, CleanProgramProducesNoFindings)
 
 TEST(Analysis, StandardPassTableCoversTheDocumentedPipeline)
 {
-    ASSERT_GE(standardPasses().size(), 6u);
+    ASSERT_GE(standardPasses().size(), 9u);
     EXPECT_EQ(standardPasses().front().name, "structure");
-    EXPECT_EQ(standardPasses().back().name, "cost");
+    EXPECT_EQ(standardPasses().back().name, "checkpoint");
+    bool saw_valuerange = false;
+    for (const PassInfo &pass : standardPasses())
+        saw_valuerange = saw_valuerange || pass.name == "valuerange";
+    EXPECT_TRUE(saw_valuerange);
+}
+
+TEST(Analysis, RegistryCoversEveryPassAndExplainsEveryId)
+{
+    // Every pass in the pipeline owns at least one registry entry, and
+    // every entry resolves through the lookup used by --explain.
+    for (const PassInfo &pass : standardPasses()) {
+        bool owned = false;
+        for (const DiagInfo &info : diagnosticRegistry())
+            owned = owned || info.pass == pass.name;
+        EXPECT_TRUE(owned) << pass.name;
+    }
+    for (const DiagInfo &info : diagnosticRegistry()) {
+        const DiagInfo *found = findDiagInfo(info.id);
+        ASSERT_NE(found, nullptr) << info.id;
+        EXPECT_EQ(found->severity, info.severity);
+    }
+    EXPECT_EQ(findDiagInfo("AMN999"), nullptr);
 }
 
 // --- structure: AMN001-AMN004 ---
@@ -336,6 +358,144 @@ TEST(Analysis, Amn602UnprofitableSelectionRecorded)
     AnalysisReport report = analyzeProgram(p);
     EXPECT_TRUE(hasId(report, "AMN602", Severity::Warning));
     EXPECT_FALSE(report.hasErrors()) << report.renderText();
+}
+
+// --- valuerange: AMN701-AMN703 (dataflow-backed) ---
+
+TEST(Analysis, Amn701AccessProvablyOutOfRange)
+{
+    ProgramBuilder b("oob");
+    b.allocWords(1);  // memBytes = 8
+    b.li(1, 8);
+    b.ld(2, 1);  // addr = 8 on the only feasible path
+    b.halt();
+    AnalysisReport report = analyzeProgram(b.finish());
+    EXPECT_TRUE(hasId(report, "AMN701", Severity::Error));
+    EXPECT_EQ(report.diagnostics.size(), 1u) << report.renderText();
+}
+
+TEST(Analysis, Amn701AccessProvablyMisaligned)
+{
+    ProgramBuilder b("misaligned");
+    b.allocWords(2);  // memBytes = 16: address 4 is in range, unaligned
+    b.li(1, 4);
+    b.ld(2, 1);
+    b.halt();
+    AnalysisReport report = analyzeProgram(b.finish());
+    EXPECT_TRUE(hasId(report, "AMN701", Severity::Error));
+    EXPECT_EQ(report.diagnostics.size(), 1u) << report.renderText();
+}
+
+TEST(Analysis, Amn701InBoundsAccessStaysClean)
+{
+    ProgramBuilder b("inbounds");
+    b.allocWords(2);
+    b.li(1, 8);
+    b.ld(2, 1);  // last word: in range, aligned
+    b.halt();
+    AnalysisReport report = analyzeProgram(b.finish());
+    EXPECT_TRUE(report.diagnostics.empty()) << report.renderText();
+}
+
+/** CFG-reachable RCMP behind an interval-infeasible branch:
+ *    0: li r1, 0
+ *    1: rec {r3,r3} -> hist[7]
+ *    2: li r3, 21
+ *    3: bne r1, r1 -> 5     (taken edge is infeasible: r1 == r1)
+ *    4: jmp 6
+ *    5: rcmp r2, [r1+0], slice#0@7
+ *    6: halt
+ *    7: add r2, hist, hist  <- slice 0
+ *    8: rtn
+ */
+TEST(Analysis, Amn702ProvablyDeadRcmpGuard)
+{
+    Program p = miniAmnesic();
+    Instruction bne;
+    bne.op = Opcode::Bne;
+    bne.rs1 = 1;
+    bne.rs2 = 1;
+    bne.target = 5;
+    p.code.insert(p.code.begin() + 3, bne);
+    Instruction jmp;
+    jmp.op = Opcode::Jmp;
+    jmp.target = 6;
+    p.code.insert(p.code.begin() + 4, jmp);
+    p.codeEnd = 7;
+    p.code[1].leafAddr = 7;
+    p.code[5].target = 7;
+    p.slices[0].entry = 7;
+    p.slices[0].rcmpPc = 5;
+    AnalysisReport report = analyzeProgram(p);
+    EXPECT_TRUE(hasId(report, "AMN702", Severity::Warning));
+    EXPECT_EQ(report.diagnostics.size(), 1u) << report.renderText();
+}
+
+TEST(Analysis, Amn703ConstantInputSlice)
+{
+    // Like Amn202DeadRec's hist-free variant, but with the REC dropped:
+    // both Live inputs of the slice are the singleton r3 = 21.
+    Program p = miniAmnesic();
+    p.code[1].op = Opcode::Nop;  // no REC
+    p.code[5].src1 = OperandSource::Live;
+    p.code[5].src2 = OperandSource::Live;
+    p.slices[0].histLeafCount = 0;
+    p.slices[0].histOperandCount = 0;
+    AnalysisReport report = analyzeProgram(p);
+    EXPECT_TRUE(hasId(report, "AMN703", Severity::Note));
+    EXPECT_EQ(report.diagnostics.size(), 1u) << report.renderText();
+    EXPECT_FALSE(report.gates(/*warnings_as_errors=*/true));
+}
+
+// --- checkpoint: AMN801-AMN803 ---
+
+TEST(Analysis, Amn801CheckpointBudgetExceeded)
+{
+    AnalyzerOptions options;
+    options.checkpointBudgetBytes = 16;  // 2 Hist operands need 32
+    AnalysisReport report = analyzeProgram(miniAmnesic(), options);
+    EXPECT_TRUE(hasId(report, "AMN801", Severity::Warning));
+    EXPECT_EQ(report.diagnostics.size(), 1u) << report.renderText();
+}
+
+TEST(Analysis, Amn802RecomputeDepthExceeded)
+{
+    AnalyzerOptions options;
+    options.maxRecomputeDepth = 0;  // the 1-instruction body exceeds it
+    AnalysisReport report = analyzeProgram(miniAmnesic(), options);
+    EXPECT_TRUE(hasId(report, "AMN802", Severity::Warning));
+    EXPECT_EQ(report.diagnostics.size(), 1u) << report.renderText();
+}
+
+/** Two reachable stores aliasing the RCMP's reload word:
+ *    0: li r1, 0
+ *    1: rec {r3,r3} -> hist[7]
+ *    2: li r3, 21
+ *    3: st [r1+0], r3
+ *    4: st [r1+0], r3
+ *    5: rcmp r2, [r1+0], slice#0@7
+ *    6: halt
+ *    7: add r2, hist, hist  <- slice 0
+ *    8: rtn
+ */
+TEST(Analysis, Amn803MultiWriterAliasingHazard)
+{
+    Program p = miniAmnesic();
+    Instruction st;
+    st.op = Opcode::St;
+    st.rs1 = 1;
+    st.rs2 = 3;
+    p.code.insert(p.code.begin() + 3, st);
+    p.code.insert(p.code.begin() + 4, st);
+    p.codeEnd = 7;
+    p.code[1].leafAddr = 7;
+    p.code[5].target = 7;
+    p.slices[0].entry = 7;
+    p.slices[0].rcmpPc = 5;
+    AnalysisReport report = analyzeProgram(p);
+    EXPECT_TRUE(hasId(report, "AMN803", Severity::Note));
+    EXPECT_EQ(report.diagnostics.size(), 1u) << report.renderText();
+    EXPECT_FALSE(report.gates(/*warnings_as_errors=*/true));
 }
 
 // --- report machinery ---

@@ -12,6 +12,7 @@
 #include "core/amnesic_machine.h"
 #include "core/compiler.h"
 #include "isa/program_builder.h"
+#include "isa/serialize.h"
 #include "isa/verifier.h"
 
 namespace amnesiac {
@@ -166,6 +167,37 @@ TEST(Compiler, OracleSetSkipsEnergyFilter)
     AmnesicCompiler compiler(EnergyModel{}, HierarchyConfig{}, config);
     CompileResult result = compiler.compile(input);
     EXPECT_GE(result.stats.selected, 1u);
+}
+
+TEST(Compiler, StaticPruneIsConservative)
+{
+    // The pruner's whole contract: pruning may only skip profiling
+    // work, never change the outcome. Selected set and emitted binary
+    // must be byte-identical with the pass on (default) and off.
+    Program input = swapKernel(5, 48);
+    CompilerConfig pruned_config = testConfig();
+    CompilerConfig unpruned_config = testConfig();
+    unpruned_config.prune = false;
+
+    AmnesicCompiler pruned_compiler(EnergyModel{}, HierarchyConfig{},
+                                    pruned_config);
+    AmnesicCompiler unpruned_compiler(EnergyModel{}, HierarchyConfig{},
+                                      unpruned_config);
+    CompileResult pruned = pruned_compiler.compile(input);
+    CompileResult unpruned = unpruned_compiler.compile(input);
+
+    EXPECT_EQ(serializeProgram(pruned.program),
+              serializeProgram(unpruned.program));
+    EXPECT_EQ(pruned.stats.selected, unpruned.stats.selected);
+    ASSERT_GE(pruned.stats.selected, 1u);
+    // The pass actually did something on this kernel (the stride scan's
+    // evict load alone feeds no selected site's value chain).
+    EXPECT_GT(pruned.stats.prunedSites + pruned.stats.prunedProductions,
+              0u);
+    EXPECT_EQ(unpruned.stats.prunedSites, 0u);
+    EXPECT_EQ(unpruned.stats.prunedProductions, 0u);
+    // The analysis pass reports its own wall clock.
+    EXPECT_GT(pruned.analysisSec, 0.0);
 }
 
 TEST(Compiler, BranchTargetsSurviveRewriting)

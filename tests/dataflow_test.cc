@@ -1,0 +1,422 @@
+/**
+ * @file
+ * Tests for the fixpoint dataflow engine and its shipped domains:
+ * interval lattice laws and abstract-evaluation soundness, widening
+ * convergence (with narrowing precision) on counted loops, trip-count
+ * bounds including nested loops, RegionSet corner cases, reaching
+ * definitions, and the static candidate pruner's conservative rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/domains.h"
+#include "analysis/prune.h"
+#include "energy/epi.h"
+#include "isa/program_builder.h"
+#include "sim/machine.h"
+
+namespace amnesiac {
+namespace {
+
+// --- interval lattice laws ---
+
+std::vector<Interval>
+sampleIntervals()
+{
+    return {
+        Interval::constant(0),
+        Interval::constant(1),
+        Interval::constant(7),
+        Interval::range(5, 10),
+        Interval::range(0, 63),
+        Interval::range(64, 128),
+        Interval::range((1ull << 63) - 1, 1ull << 63),
+        Interval::range(~0ull - 3, ~0ull),
+        Interval::all(),
+    };
+}
+
+std::vector<std::uint64_t>
+samplePoints(const Interval &v)
+{
+    if (v.empty())
+        return {};
+    std::vector<std::uint64_t> pts = {v.lo, v.hi};
+    if (v.hi - v.lo >= 2)
+        pts.push_back(v.lo + (v.hi - v.lo) / 2);
+    return pts;
+}
+
+TEST(Dataflow, IntervalJoinMeetLaws)
+{
+    const auto samples = sampleIntervals();
+    for (const Interval &a : samples)
+        for (const Interval &b : samples) {
+            Interval j = intervalJoin(a, b);
+            Interval m = intervalMeet(a, b);
+            // Commutativity.
+            EXPECT_EQ(j, intervalJoin(b, a));
+            EXPECT_EQ(m, intervalMeet(b, a));
+            // Join is an upper bound; meet a lower bound.
+            for (std::uint64_t p : samplePoints(a)) {
+                EXPECT_TRUE(j.contains(p));
+                EXPECT_EQ(m.contains(p), b.contains(p));
+            }
+            // Absorption: a ⊔ (a ⊓ b) == a and a ⊓ (a ⊔ b) == a.
+            EXPECT_EQ(intervalJoin(a, m), a);
+            EXPECT_EQ(intervalMeet(a, j), a);
+        }
+    // Idempotence and the empty element.
+    for (const Interval &a : samples) {
+        EXPECT_EQ(intervalJoin(a, a), a);
+        EXPECT_EQ(intervalMeet(a, a), a);
+        EXPECT_TRUE(intervalMeet(a, Interval::none()).empty());
+        EXPECT_EQ(intervalJoin(a, Interval::none()), a);
+    }
+}
+
+TEST(Dataflow, EvalIntervalIsSound)
+{
+    // Every concrete evalAlu result must land inside the abstract one.
+    const Opcode ops[] = {Opcode::Li,  Opcode::Mov, Opcode::Add,
+                          Opcode::Sub, Opcode::Mul, Opcode::Divu,
+                          Opcode::And, Opcode::Or,  Opcode::Xor,
+                          Opcode::Shl, Opcode::Shr};
+    const auto samples = sampleIntervals();
+    for (Opcode op : ops)
+        for (const Interval &a : samples)
+            for (const Interval &b : samples) {
+                Interval r = evalInterval(op, a, b, /*imm=*/21);
+                for (std::uint64_t x : samplePoints(a))
+                    for (std::uint64_t y : samplePoints(b)) {
+                        std::uint64_t v = Machine::evalAlu(op, x, y, 21);
+                        EXPECT_TRUE(r.contains(v))
+                            << mnemonic(op) << " " << x << "," << y
+                            << " -> " << v << " not in [" << r.lo << ","
+                            << r.hi << "]";
+                    }
+            }
+    // Floats are deliberately top: bit patterns do not order.
+    EXPECT_TRUE(evalInterval(Opcode::Fmul, Interval::constant(2),
+                             Interval::constant(2), 0)
+                    .isTop());
+}
+
+// --- engine: widening convergence and narrowing precision ---
+
+/** i = 0; do { t = i + 1; i += 1; } while (i < 10 signed); */
+Program
+countedLoop()
+{
+    ProgramBuilder b("counted");
+    b.li(1, 0);   // i
+    b.li(2, 1);   // step
+    b.li(3, 10);  // limit
+    ProgramBuilder::Label loop = b.newLabel();
+    b.bind(loop);
+    b.alu(Opcode::Add, 4, 1, 2);  // body production
+    b.alu(Opcode::Add, 1, 1, 2);  // i += 1
+    b.blt(1, 3, loop);
+    b.halt();
+    return b.finish();
+}
+
+TEST(Dataflow, CountedLoopConvergesToExactExitRange)
+{
+    Program p = countedLoop();
+    DataflowFacts facts(p);
+    // pc 3 is the loop head (target of the retreating blt edge).
+    EXPECT_TRUE(facts.cfg.loopHead(3));
+    // At the loop head the counter is bounded by the refined back edge.
+    Interval head = facts.regAt(3, 1);
+    EXPECT_EQ(head.lo, 0u);
+    EXPECT_LE(head.hi, 9u);
+    // On loop exit narrowing recovers the exact value: i == 10.
+    Interval exit = facts.regAt(6, 1);
+    EXPECT_TRUE(exit.singleton()) << "[" << exit.lo << "," << exit.hi << "]";
+    EXPECT_EQ(exit.lo, 10u);
+}
+
+TEST(Dataflow, InfeasibleBranchEdgeUnreachesCode)
+{
+    // bne r1, r1 never takes its branch: the target-side code is only
+    // interval-reachable through the fall-through path.
+    ProgramBuilder b("infeasible");
+    b.li(1, 5);
+    ProgramBuilder::Label skip = b.newLabel();
+    b.bne(1, 1, skip);
+    b.li(2, 1);
+    b.halt();
+    b.bind(skip);  // only reachable via the infeasible taken edge
+    b.li(2, 2);
+    b.halt();
+    Program p = b.finish();
+    DataflowFacts facts(p);
+    EXPECT_TRUE(facts.cfg.reachable(4));  // CFG says maybe
+    EXPECT_FALSE(facts.reached(4));       // intervals say never
+    EXPECT_TRUE(facts.reached(2));
+}
+
+// --- trip-count bounds ---
+
+TEST(Dataflow, ExecBoundsBoundTheCountedLoop)
+{
+    Program p = countedLoop();
+    DataflowFacts facts(p);
+    // The body really executes 10 times; the bound must cover it
+    // without being unbounded (and stay close: one extra sweep at most).
+    ASSERT_LT(3u, facts.execBound.size());
+    EXPECT_NE(facts.execBound[3], kUnboundedExec);
+    EXPECT_GE(facts.execBound[3], 10u);
+    EXPECT_LE(facts.execBound[3], 12u);
+    // Straight-line prologue executes once.
+    EXPECT_EQ(facts.execBound[0], 1u);
+    // The exit is bounded too.
+    EXPECT_NE(facts.execBound[6], kUnboundedExec);
+}
+
+TEST(Dataflow, ExecBoundsHandleNestedLoops)
+{
+    // for (i = 0; i < 4; ++i) for (j = 0; j < 8; ++j) body;
+    ProgramBuilder b("nested");
+    b.li(1, 0);  // i
+    b.li(2, 1);  // step
+    b.li(3, 4);  // outer limit
+    b.li(6, 8);  // inner limit
+    ProgramBuilder::Label outer = b.newLabel();
+    ProgramBuilder::Label inner = b.newLabel();
+    b.bind(outer);
+    b.li(4, 0);  // j
+    b.bind(inner);
+    std::uint32_t body = b.alu(Opcode::Add, 5, 4, 2);
+    b.alu(Opcode::Add, 4, 4, 2);  // j += 1
+    b.blt(4, 6, inner);
+    std::uint32_t outer_step = b.alu(Opcode::Add, 1, 1, 2);  // i += 1
+    b.blt(1, 3, outer);
+    b.halt();
+    Program p = b.finish();
+    DataflowFacts facts(p);
+    // Inner body: really 32 executions; bound finite and ≥ that.
+    EXPECT_NE(facts.execBound[body], kUnboundedExec);
+    EXPECT_GE(facts.execBound[body], 32u);
+    EXPECT_LE(facts.execBound[body], 100u);
+    // Outer increment: really 4; bounded (loosely) as well.
+    EXPECT_NE(facts.execBound[outer_step], kUnboundedExec);
+    EXPECT_GE(facts.execBound[outer_step], 4u);
+}
+
+TEST(Dataflow, UncountedLoopIsUnbounded)
+{
+    // A jmp-only cycle has no counted-loop shape: everything in the
+    // cycle must report kUnboundedExec, never a fabricated bound.
+    ProgramBuilder b("spin");
+    ProgramBuilder::Label top = b.newLabel();
+    b.bind(top);
+    b.li(1, 1);
+    b.jmp(top);
+    b.halt();
+    Program p = b.finish();
+    DataflowFacts facts(p);
+    EXPECT_EQ(facts.execBound[0], kUnboundedExec);
+    EXPECT_EQ(facts.execBound[1], kUnboundedExec);
+}
+
+// --- RegionSet corners ---
+
+TEST(Dataflow, RegionSetCoalescesAdjacentRanges)
+{
+    RegionSet set;
+    set.add(8, 15);
+    set.add(0, 7);  // adjacent: one byte gap closes
+    ASSERT_EQ(set.ranges().size(), 1u);
+    EXPECT_EQ(set.ranges()[0].first, 0u);
+    EXPECT_EQ(set.ranges()[0].second, 15u);
+    set.add(32, 39);  // disjoint: stays separate
+    ASSERT_EQ(set.ranges().size(), 2u);
+    EXPECT_TRUE(set.intersects(15, 16));
+    EXPECT_FALSE(set.intersects(16, 31));
+    EXPECT_TRUE(set.intersects(0, ~0ull));
+}
+
+TEST(Dataflow, RegionSetOverflowCollapsesToHull)
+{
+    RegionSet set;
+    for (std::uint64_t i = 0; i < RegionSet::kMaxRegions + 8; ++i)
+        set.add(i * 100, i * 100 + 1);
+    // Over-approximation only: gaps may now report intersection, but
+    // every genuinely covered byte must still intersect.
+    EXPECT_TRUE(set.intersects(0, 0));
+    EXPECT_TRUE(set.intersects(7100, 7100));
+    EXPECT_FALSE(set.intersects(1ull << 40, 1ull << 41));
+    EXPECT_LE(set.ranges().size(), RegionSet::kMaxRegions);
+}
+
+TEST(Dataflow, RegionSetCrossIntersection)
+{
+    RegionSet a;
+    a.add(0, 7);
+    a.add(100, 107);
+    RegionSet b;
+    b.add(50, 60);
+    EXPECT_FALSE(a.intersects(b));
+    b.add(104, 104);
+    EXPECT_TRUE(a.intersects(b));
+    RegionSet empty;
+    EXPECT_FALSE(a.intersects(empty));
+    EXPECT_TRUE(empty.empty());
+}
+
+// --- reaching definitions ---
+
+TEST(Dataflow, ReachingDefsMergeAtJoins)
+{
+    //   0: li r1, 1
+    //   1: li r2, 2
+    //   2: bne r1, r2 -> 4
+    //   3: li r1, 3
+    //   4: halt          (join point)
+    ProgramBuilder b("defs");
+    b.li(1, 1);
+    b.li(2, 2);
+    ProgramBuilder::Label join = b.newLabel();
+    b.bne(1, 2, join);
+    b.li(1, 3);
+    b.bind(join);
+    b.halt();
+    Program p = b.finish();
+    DataflowFacts facts(p);
+    // Reaching defs deliberately skip edge refinement (finite lattice,
+    // used for value-flow over-approximation): both defs reach pc 4.
+    const std::vector<std::uint32_t> &defs = facts.reachingDefs(4, 1);
+    EXPECT_EQ(defs, (std::vector<std::uint32_t>{0, 3}));
+    // Before its redefinition only the entry def reaches.
+    EXPECT_EQ(facts.reachingDefs(3, 1),
+              (std::vector<std::uint32_t>{0}));
+    // r5 was never defined: the empty set (initial zero) reaches.
+    EXPECT_TRUE(facts.reachingDefs(4, 5).empty());
+}
+
+// --- static candidate pruner ---
+
+TEST(Prune, ReadOnlyLoadIsSkippedAndItsWorldGoesOpaque)
+{
+    //   0: li r1, 0
+    //   1: ld r2, [r1]    <- no store anywhere: a read-only input
+    //   2: add r3, r2, r2
+    //   3: halt
+    ProgramBuilder b("readonly");
+    b.allocWords(1);
+    b.li(1, 0);
+    b.ld(2, 1);
+    b.alu(Opcode::Add, 3, 2, 2);
+    b.halt();
+    Program p = b.finish();
+    DataflowFacts facts(p);
+    EnergyModel energy;
+    StaticPruneOptions options;
+    options.energy = &energy;
+    StaticPruneResult pruned = computeStaticPrune(p, facts, options);
+    ASSERT_EQ(pruned.skipSiteAnalysis.size(), p.code.size());
+    EXPECT_TRUE(pruned.skipSiteAnalysis[1]);
+    EXPECT_EQ(pruned.prunedSites, 1u);
+    // With no surviving load, every sliceable production is opaque.
+    EXPECT_TRUE(pruned.opaqueProduction[0]);
+    EXPECT_TRUE(pruned.opaqueProduction[2]);
+    EXPECT_EQ(pruned.prunedProductions, 2u);
+}
+
+TEST(Prune, ColdSiteIsSkipped)
+{
+    //   0: li r1, 0
+    //   1: li r2, 42
+    //   2: st [r1], r2
+    //   3: ld r3, [r1]   <- executes once; minSiteCount is 8
+    //   4: halt
+    ProgramBuilder b("cold");
+    b.allocWords(1);
+    b.li(1, 0);
+    b.li(2, 42);
+    b.st(1, 0, 2);
+    b.ld(3, 1);
+    b.halt();
+    Program p = b.finish();
+    DataflowFacts facts(p);
+    EnergyModel energy;
+    StaticPruneOptions options;
+    options.energy = &energy;
+    options.minSiteCount = 8;
+    StaticPruneResult pruned = computeStaticPrune(p, facts, options);
+    EXPECT_TRUE(pruned.skipSiteAnalysis[3]);
+    // The store's value chain feeds no surviving load: opaque.
+    EXPECT_TRUE(pruned.opaqueProduction[1]);
+}
+
+TEST(Prune, HotAliasedLoadKeepsItsValueChain)
+{
+    //   0: li r1, 0      i
+    //   1: li r2, 1      step
+    //   2: li r3, 10     limit
+    //   3: li r5, 7      <- store's value: must stay tracked
+    //   4: st [r4], r5   (r4 is never written: address 0)
+    //   5: ld r6, [r4]   <- hot (≥ 10 executions): survives pruning
+    //   6: add r1, r1, r2
+    //   7: blt r1, r3 -> 3
+    //   8: halt
+    ProgramBuilder b("hot");
+    b.allocWords(1);
+    b.li(1, 0);
+    b.li(2, 1);
+    b.li(3, 10);
+    ProgramBuilder::Label loop = b.newLabel();
+    b.bind(loop);
+    b.li(5, 7);
+    b.st(4, 0, 5);
+    b.ld(6, 4);
+    b.alu(Opcode::Add, 1, 1, 2);
+    b.blt(1, 3, loop);
+    b.halt();
+    Program p = b.finish();
+    DataflowFacts facts(p);
+    EnergyModel energy;
+    StaticPruneOptions options;
+    options.energy = &energy;
+    options.minSiteCount = 8;
+    StaticPruneResult pruned = computeStaticPrune(p, facts, options);
+    // The load is hot and aliased by a store with a sliceable producer:
+    // it must survive, and its value chain must stay tracked.
+    EXPECT_FALSE(pruned.skipSiteAnalysis[5]);
+    EXPECT_FALSE(pruned.opaqueProduction[3]);
+    // The loop counter feeds no surviving value tree: opaque is legal.
+    EXPECT_TRUE(pruned.opaqueProduction[6]);
+}
+
+TEST(Prune, DeadCodeCountsAsPrunedSites)
+{
+    //   0: li r1, 5
+    //   1: bne r1, r1 -> 3   (taken edge infeasible)
+    //   2: halt
+    //   3: ld r2, [r1]       <- interval-dead: never profiled
+    //   4: halt
+    ProgramBuilder b("deadload");
+    b.allocWords(2);
+    b.li(1, 5);
+    ProgramBuilder::Label dead = b.newLabel();
+    b.bne(1, 1, dead);
+    b.halt();
+    b.bind(dead);
+    b.ld(2, 1);
+    b.halt();
+    Program p = b.finish();
+    DataflowFacts facts(p);
+    EnergyModel energy;
+    StaticPruneOptions options;
+    options.energy = &energy;
+    StaticPruneResult pruned = computeStaticPrune(p, facts, options);
+    EXPECT_TRUE(pruned.skipSiteAnalysis[3]);
+    EXPECT_EQ(pruned.prunedSites, 1u);
+}
+
+}  // namespace
+}  // namespace amnesiac

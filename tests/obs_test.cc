@@ -140,11 +140,16 @@ TEST(Manifest, DigestCoversContentNotScheduling)
     traced.traceEvents = true;
     traced.traceMemory = true;
     traced.traceMaxRecords = 16;
-    // Scheduling and passive tracing must not move the digest...
+    ExperimentConfig unpruned = base;
+    unpruned.compiler.prune = false;
+    // Scheduling, passive tracing, and the conservative-only static
+    // pruner must not move the digest...
     EXPECT_EQ(ExperimentRunner::canonicalConfigString(base),
               ExperimentRunner::canonicalConfigString(jobs));
     EXPECT_EQ(ExperimentRunner::canonicalConfigString(base),
               ExperimentRunner::canonicalConfigString(traced));
+    EXPECT_EQ(ExperimentRunner::canonicalConfigString(base),
+              ExperimentRunner::canonicalConfigString(unpruned));
     // ...while every content knob must.
     ExperimentConfig hist = base;
     hist.amnesic.histCapacity += 1;
@@ -165,10 +170,13 @@ TEST(Manifest, RenderLeadsWithDeterministicFields)
     manifest.seed = 5;
     manifest.jobsRequested = 0;
     manifest.jobsEffective = 4;
+    manifest.prunedCandidates = 17;
     std::string json = renderManifestJson(manifest);
+    // prunedCandidates sits inside the deterministic prefix: it is a
+    // pure function of program and config, not of scheduling.
     EXPECT_EQ(json.rfind("{\"configDigest\":\"0000000000123abc\","
                          "\"seed\":5,\"jobsRequested\":0,"
-                         "\"jobsEffective\":4,",
+                         "\"jobsEffective\":4,\"prunedCandidates\":17,",
                          0),
               0u)
         << json;

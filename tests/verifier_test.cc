@@ -6,8 +6,16 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/analyzer.h"
+#include "core/compiler.h"
 #include "isa/program_builder.h"
 #include "isa/verifier.h"
+#include "testing/repro.h"
+#include "workloads/kernels.h"
 
 namespace amnesiac {
 namespace {
@@ -216,6 +224,63 @@ TEST(Verifier, RejectsDuplicateSliceIds)
     for (const std::string &finding : verifyProgram(p))
         saw_dup = saw_dup || finding.find("AMN004") != std::string::npos;
     EXPECT_TRUE(saw_dup);
+}
+
+/** The shim's one contract: its verdict is exactly "does analyzeProgram
+ * report any Error-severity finding". Replays every corpus case's
+ * compiled binary — clean and seeded-broken variants — through both
+ * interfaces and requires verdict agreement on each. */
+TEST(Verifier, ShimMatchesAnalyzerOnCorpus)
+{
+    auto verdictsAgree = [](const Program &p) {
+        bool shim_clean = verifyProgram(p).empty();
+        bool analyzer_clean = !analyzeProgram(p).hasErrors();
+        EXPECT_EQ(shim_clean, analyzer_clean) << p.name;
+        return shim_clean == analyzer_clean;
+    };
+
+    std::filesystem::path dir(AMNESIAC_CORPUS_DIR);
+    ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+    std::size_t checked = 0;
+    for (const auto &entry : std::filesystem::directory_iterator(dir)) {
+        if (entry.path().extension() != ".json")
+            continue;
+        SCOPED_TRACE(entry.path().filename().string());
+        std::ifstream in(entry.path());
+        std::ostringstream text;
+        text << in.rdbuf();
+        GenCase fuzz_case;
+        std::string error;
+        ASSERT_TRUE(parseRepro(text.str(), fuzz_case, error)) << error;
+
+        Workload workload = buildWorkload(fuzz_case.spec);
+        AmnesicCompiler compiler(EnergyModel{fuzz_case.energy},
+                                 fuzz_case.hierarchy, fuzz_case.compiler);
+        Program compiled = compiler.compile(workload.program).program;
+        EXPECT_TRUE(verdictsAgree(compiled));
+
+        // Seeded structural breakage: each mutation must flip (or keep)
+        // both verdicts in lockstep, never just one.
+        if (!compiled.slices.empty()) {
+            Program broken = compiled;
+            broken.slices.push_back(broken.slices[0]);  // AMN004
+            EXPECT_TRUE(verdictsAgree(broken));
+
+            broken = compiled;
+            broken.code[broken.slices[0].entry].op = Opcode::St;  // AMN101
+            EXPECT_TRUE(verdictsAgree(broken));
+
+            broken = compiled;
+            broken.slices[0].leafCount += 1;  // AMN504
+            EXPECT_TRUE(verdictsAgree(broken));
+        }
+        Program truncated = compiled;
+        truncated.codeEnd =
+            static_cast<std::uint32_t>(truncated.code.size()) + 1;
+        EXPECT_TRUE(verdictsAgree(truncated));  // AMN002
+        ++checked;
+    }
+    EXPECT_GT(checked, 0u);
 }
 
 }  // namespace
