@@ -41,6 +41,15 @@ struct BenchArgs
  *
  *   --jobs <n>          worker threads for the experiment pipeline
  *                       (0 = hardware_concurrency, 1 = serial; default 0)
+ *   --profile-jobs <n>  windows for the dependence-profiling pass
+ *                       (1 = classic serial profiler, 0 = hardware
+ *                       concurrency, K > 1 fixed; byte-identical
+ *                       output for every value — default 1)
+ *   --cache-dir <path>  content-addressed artifact cache for compiled
+ *                       binaries (default: $AMNESIAC_CACHE_DIR if set,
+ *                       else disabled)
+ *   --no-cache          disable the artifact cache even if a directory
+ *                       is configured
  *   --seed <n>          workload seed (default 1)
  *   --scale <x>         non-memory EPI scale, the §5.5 R knob
  *   --timing <b>        cycle-accounting backend: scalar | pipelined
@@ -83,6 +92,13 @@ parseArgs(int argc, char **argv)
         if (arg == "--jobs") {
             args.config.jobs = static_cast<unsigned>(
                 std::strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--profile-jobs") {
+            args.config.compiler.profileJobs = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--cache-dir") {
+            args.config.cacheDir = next();
+        } else if (arg == "--no-cache") {
+            args.config.noCache = true;
         } else if (arg == "--seed") {
             args.seed = std::strtoull(next().c_str(), nullptr, 10);
         } else if (arg == "--scale") {
@@ -117,7 +133,8 @@ parseArgs(int argc, char **argv)
                 std::strtoull(next().c_str(), nullptr, 10);
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--jobs <n>] [--seed <n>] "
+                         "usage: %s [--jobs <n>] [--profile-jobs <n>] "
+                         "[--cache-dir <path>] [--no-cache] [--seed <n>] "
                          "[--scale <x>] [--timing <scalar|pipelined>] "
                          "[--predictor <nottaken|bimodal|gshare>] "
                          "[--trace <path>] "

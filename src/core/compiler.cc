@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <map>
+#include <memory>
 #include <unordered_map>
 
 #include "analysis/analyzer.h"
@@ -10,6 +11,7 @@
 #include "core/cost_model.h"
 #include "core/dry_run.h"
 #include "profile/profiler.h"
+#include "profile/shard.h"
 #include "util/logging.h"
 
 namespace amnesiac {
@@ -57,12 +59,30 @@ AmnesicCompiler::compile(const Program &input) const
     }
 
     // --- pass 1: dependence + residence profiling (§3.1.1, §4) ---
-    Profiler profiler(prof_config);
-    {
+    // Serial by default; profileJobs != 1 shards the run over dynamic
+    // instruction windows with a merge that reproduces the serial
+    // profile exactly (src/profile/shard.h).
+    auto profile_t0 = Clock::now();
+    std::unique_ptr<Profiler> serial_profiler;
+    std::unique_ptr<ShardedProfile> sharded_profile;
+    const ProfileSource *profile = nullptr;
+    if (_config.profileJobs == 1) {
+        serial_profiler = std::make_unique<Profiler>(prof_config);
         Machine machine(input, _energy, _hierarchy);
-        machine.setObserver(&profiler);
+        machine.setObserver(serial_profiler.get());
         machine.run(_config.runLimit);
+        profile = serial_profiler.get();
+    } else {
+        ShardOptions shard_opts;
+        shard_opts.jobs = _config.profileJobs;
+        shard_opts.runLimit = _config.runLimit;
+        sharded_profile = profileSharded(input, _energy, _hierarchy,
+                                         prof_config, shard_opts);
+        profile = sharded_profile.get();
+        result.profileShards = sharded_profile->shards();
     }
+    result.profileSec =
+        std::chrono::duration<double>(Clock::now() - profile_t0).count();
 
     CostModel cost(_energy);
     SliceBuilder builder(_energy, _config.builder);
@@ -72,7 +92,7 @@ AmnesicCompiler::compile(const Program &input) const
     {
         std::array<std::uint64_t, kNumMemLevels> by_level{};
         std::uint64_t total = 0;
-        for (const SiteProfile *site : profiler.sites()) {
+        for (const SiteProfile *site : profile->sites()) {
             for (std::size_t i = 0; i < kNumMemLevels; ++i)
                 by_level[i] += site->byLevel[i];
             total += site->count;
@@ -85,7 +105,7 @@ AmnesicCompiler::compile(const Program &input) const
     }
 
     std::vector<RSlice> candidates;
-    for (const SiteProfile *site : profiler.sites()) {
+    for (const SiteProfile *site : profile->sites()) {
         ++result.stats.sitesSeen;
         result.stats.totalDynLoads += site->count;
         if (site->count < _config.minSiteCount) {
@@ -103,7 +123,7 @@ AmnesicCompiler::compile(const Program &input) const
         // the economics to the runtime oracle (§5.1).
         double budget = _config.oracleSet
             ? _energy.loadEnergy(MemLevel::Memory) : eld;
-        auto slice = builder.build(*site, budget, profiler);
+        auto slice = builder.build(*site, budget, *profile);
         if (!slice) {
             ++result.stats.rejectedNoSlice;
             continue;
@@ -118,8 +138,7 @@ AmnesicCompiler::compile(const Program &input) const
         for (std::size_t i = 0; i < kNumMemLevels; ++i)
             slice->profResidence[i] =
                 site->prLevel(static_cast<MemLevel>(i));
-        slice->valueLocalityPct =
-            profiler.valueLocality().localityPercent(site->pc);
+        slice->valueLocalityPct = profile->valueLocalityPercent(site->pc);
         candidates.push_back(std::move(*slice));
     }
 
@@ -146,7 +165,7 @@ AmnesicCompiler::compile(const Program &input) const
 
     result.stats.selected = candidates.size();
     for (const RSlice &slice : candidates) {
-        const SiteProfile *site = profiler.site(slice.loadPc);
+        const SiteProfile *site = profile->site(slice.loadPc);
         result.stats.coveredDynLoads += site ? site->count : 0;
     }
 

@@ -62,6 +62,17 @@ struct CompilerConfig
     bool prune = true;
     /** Runaway guard for the profiling simulations. */
     std::uint64_t runLimit = 1ull << 32;
+    /**
+     * Worker threads for the dependence-profiling pass. 1 (default)
+     * runs the classic serial profiler; 0 = hardware concurrency;
+     * K > 1 shards the run into K dynamic-instruction windows on a
+     * private pool (src/profile/shard.h). Pure scheduling: the
+     * profile, the selected candidates, and the emitted binary are
+     * byte-identical for every value (machine-checked in
+     * tests/profile_shard_test.cc), so this is excluded from the
+     * canonical experiment config string like the other jobs knobs.
+     */
+    unsigned profileJobs = 1;
 };
 
 /** Why candidates were kept or dropped (reported by benches/tests). */
@@ -100,6 +111,11 @@ struct CompileResult
     /** Wall-clock seconds spent in static analysis: the pre-profiling
      * dataflow solve + pruner plus the post-compile analysis gate. */
     double analysisSec = 0.0;
+    /** Wall-clock seconds of the dependence-profiling pass (pass 1
+     * only — a share of the pipeline's compileSec, like analysisSec). */
+    double profileSec = 0.0;
+    /** Windows the profiling pass ran as (1 = the serial profiler). */
+    unsigned profileShards = 1;
 };
 
 /**

@@ -31,26 +31,27 @@ SliceBuilder::SliceBuilder(const EnergyModel &energy,
 
 double
 SliceBuilder::recPerLoad(const RSlice &slice, const SiteProfile &site,
-                         const Profiler &profiler) const
+                         const ProfileSource &profile) const
 {
     if (site.count == 0)
         return 1.0;
     double total = 0.0;
     for (const auto &[orig_pc, instr_idx] : slice.capturePoints()) {
         (void)instr_idx;
-        total += static_cast<double>(profiler.execCount(orig_pc));
+        total += static_cast<double>(profile.execCount(orig_pc));
     }
     return total / static_cast<double>(site.count);
 }
 
 std::optional<RSlice>
 SliceBuilder::build(const SiteProfile &site, double energy_budget,
-                    const Profiler &profiler) const
+                    const ProfileSource &profile) const
 {
-    const DepTracker &tracker = profiler.tracker();
     const CandidateTree *top = site.topTree();
-    if (!top || top->representative == kNoNode ||
-        tracker.node(top->representative).kind != ProducerNode::Kind::Alu)
+    if (!top || top->representative == kNoNode)
+        return std::nullopt;
+    const DepTracker &tracker = profile.treeArena(*top);
+    if (tracker.node(top->representative).kind != ProducerNode::Kind::Alu)
         return std::nullopt;
 
     CostModel cost(*_energy);
@@ -123,7 +124,7 @@ SliceBuilder::build(const SiteProfile &site, double energy_budget,
     for (std::uint32_t h = 0;; ++h) {
         RSlice candidate = materialize(levels);
         double erc = cost.estimatedRecomputeEnergy(
-            candidate, recPerLoad(candidate, site, profiler));
+            candidate, recPerLoad(candidate, site, profile));
         candidate.ercEstimate = erc;
         candidate.eldEstimate = energy_budget;
         std::uint32_t length = candidate.length();

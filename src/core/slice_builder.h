@@ -54,18 +54,21 @@ class SliceBuilder
      * @param site the load site's profile (tree shapes, live stats)
      * @param energy_budget Eld estimate that caps Erc (§2: "the energy
      *        consumption of the load sets the energy budget")
-     * @param profiler execution counts for REC amortization
+     * @param profile execution counts for REC amortization and the
+     *        arena holding the site's tree representatives (serial
+     *        Profiler or merged ShardedProfile — the builder cannot
+     *        tell them apart, which is the point)
      * @return the grown slice, or nullopt if even the minimal
      *         root-only slice violates the budget or no producer tree
      *         exists
      */
     std::optional<RSlice> build(const SiteProfile &site,
                                 double energy_budget,
-                                const Profiler &profiler) const;
+                                const ProfileSource &profile) const;
 
     /** REC executions per dynamic load for a candidate slice. */
     double recPerLoad(const RSlice &slice, const SiteProfile &site,
-                      const Profiler &profiler) const;
+                      const ProfileSource &profile) const;
 
   private:
     const EnergyModel *_energy;

@@ -25,16 +25,20 @@ renderManifestJson(const RunManifest &manifest)
         "{\"configDigest\":\"%016" PRIx64 "\",\"seed\":%" PRIu64
         ",\"jobsRequested\":%u,\"jobsEffective\":%u,"
         "\"prunedCandidates\":%" PRIu64 ","
+        "\"profileShards\":%u,\"cacheHits\":%u,"
         "\"phases\":{\"classicSec\":%.6f,\"compileSec\":%.6f,"
-        "\"analysisSec\":%.6f,\"simulateSec\":%.6f,\"totalSec\":%.6f},"
+        "\"analysisSec\":%.6f,\"profileSec\":%.6f,"
+        "\"simulateSec\":%.6f,\"totalSec\":%.6f},"
         "\"pool\":{\"jobsExecuted\":%" PRIu64
         ",\"queueWaitSec\":%.6f,\"workerBusySec\":%.6f}}",
         manifest.configDigest, manifest.seed, manifest.jobsRequested,
         manifest.jobsEffective, manifest.prunedCandidates,
+        manifest.profileShards, manifest.cacheHits,
         manifest.phases.classicSec, manifest.phases.compileSec,
-        manifest.phases.analysisSec, manifest.phases.simulateSec,
-        manifest.phases.totalSec, manifest.pool.jobsExecuted,
-        manifest.pool.queueWaitSec, manifest.pool.workerBusySec);
+        manifest.phases.analysisSec, manifest.phases.profileSec,
+        manifest.phases.simulateSec, manifest.phases.totalSec,
+        manifest.pool.jobsExecuted, manifest.pool.queueWaitSec,
+        manifest.pool.workerBusySec);
     return buf;
 }
 

@@ -28,6 +28,7 @@ struct PhaseTimes
     double classicSec = 0.0;   ///< classic (baseline) simulation
     double compileSec = 0.0;   ///< both compiles (prob + oracle sets)
     double analysisSec = 0.0;  ///< static analysis share of compileSec
+    double profileSec = 0.0;   ///< dependence-profiling share of compileSec
     double simulateSec = 0.0;  ///< all amnesic policy simulations
     double totalSec = 0.0;     ///< end-to-end, including merge overhead
 };
@@ -52,6 +53,15 @@ struct RunManifest
      * Deterministic: a pure function of program + config, never of
      * scheduling — rendered inside the determinism-witness prefix. */
     std::uint64_t prunedCandidates = 0;
+    /** Windows the dependence-profiling pass ran as (max over the
+     * compiles; 1 = serial). Scheduling provenance, like jobsEffective:
+     * machine-dependent when profileJobs = 0, so rendered outside the
+     * determinism-witness prefix. */
+    unsigned profileShards = 1;
+    /** Compiles served from the artifact cache this run (0–2: the
+     * probabilistic and oracle sets cache independently). Depends on
+     * disk state, so also outside the witness prefix. */
+    unsigned cacheHits = 0;
     PhaseTimes phases;
     PoolStats pool;
 };

@@ -1,6 +1,7 @@
 #include "profile/profiler.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/logging.h"
 
@@ -34,27 +35,46 @@ SiteProfile::stability() const
     return static_cast<double>(best->count) / static_cast<double>(count);
 }
 
-Profiler::Profiler(const ProfilerConfig &config) : _config(config) {}
+Profiler::Profiler(const ProfilerConfig &config)
+    : _config(config), _maxDistinctTrees(config.maxDistinctTrees)
+{
+}
+
+Profiler::Profiler(const ProfilerConfig &config, Seed &&seed)
+    : _config(config),
+      _maxDistinctTrees(std::numeric_limits<std::size_t>::max()),
+      _tracker(std::move(seed.tracker))
+{
+    for (const auto &[pc, value] : seed.lastValues)
+        _values.seedLast(pc, value);
+}
+
+void
+Profiler::mirrorExec(DepTracker &tracker, const ProfilerConfig &config,
+                     const ExecutionEngine &m, std::uint32_t pc,
+                     const Instruction &instr)
+{
+    if (!isSliceable(instr.op))
+        return;
+    if (pc < config.opaqueProduction.size() && config.opaqueProduction[pc]) {
+        tracker.onOpaque(instr.rd);
+        return;
+    }
+    // Mirror the execution so the tracker can link producers. The
+    // observer fires pre-execution, so source registers still hold
+    // the instruction's inputs.
+    std::uint64_t result = Machine::evalAlu(
+        instr.op, m.reg(instr.rs1 < kNumRegs ? instr.rs1 : 0),
+        m.reg(instr.rs2 < kNumRegs ? instr.rs2 : 0), instr.imm);
+    tracker.onAlu(pc, instr, result);
+}
 
 void
 Profiler::onExec(const ExecutionEngine &m, std::uint32_t pc,
                  const Instruction &instr)
 {
     ++_execCounts[pc];
-    if (isSliceable(instr.op)) {
-        if (pc < _config.opaqueProduction.size() &&
-            _config.opaqueProduction[pc]) {
-            _tracker.onOpaque(instr.rd);
-            return;
-        }
-        // Mirror the execution so the tracker can link producers. The
-        // observer fires pre-execution, so source registers still hold
-        // the instruction's inputs.
-        std::uint64_t result = Machine::evalAlu(
-            instr.op, m.reg(instr.rs1 < kNumRegs ? instr.rs1 : 0),
-            m.reg(instr.rs2 < kNumRegs ? instr.rs2 : 0), instr.imm);
-        _tracker.onAlu(pc, instr, result);
-    }
+    mirrorExec(_tracker, _config, m, pc, instr);
 }
 
 void
@@ -160,9 +180,9 @@ Profiler::analyzeTree(const ExecutionEngine &m, SiteProfile &site,
                            });
     if (it != site.trees.end()) {
         ++it->count;
-    } else if (site.trees.size() < _config.maxDistinctTrees) {
+    } else if (site.trees.size() < _maxDistinctTrees) {
         _tracker.pin(root);  // keep the representative alive in the arena
-        site.trees.push_back({sig, 1, root});
+        site.trees.push_back({sig, 1, root, 0});
     } else {
         site.treeOverflow = true;
     }

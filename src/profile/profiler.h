@@ -49,9 +49,14 @@ struct CandidateTree
     std::uint64_t signature = 0;
     std::uint64_t count = 0;
     /** First dynamic instance with this signature (pinned in the
-     * profiler's DepTracker arena, so it stays valid for the whole
+     * owning DepTracker arena, so it stays valid for the whole
      * profiling run). */
     NodeId representative = kNoNode;
+    /** Which arena owns `representative`: the index of the profiling
+     * shard that recorded this shape (always 0 for a serial run).
+     * Resolve through ProfileSource::treeArena — never assume a single
+     * global arena. */
+    std::uint32_t arena = 0;
 };
 
 /** Live-operand statistics key: (node pc, operand index). */
@@ -107,14 +112,62 @@ struct SiteProfile
 };
 
 /**
+ * Read-only view of a completed profiling pass — everything the amnesic
+ * compiler and slice builder consume. Implemented by Profiler (one
+ * serial run) and ShardedProfile (src/profile/shard.h, the deterministic
+ * merge of K window profilers).
+ */
+class ProfileSource
+{
+  public:
+    virtual ~ProfileSource() = default;
+
+    /** Profile of one load site (nullptr if the site never executed). */
+    virtual const SiteProfile *site(std::uint32_t pc) const = 0;
+
+    /** All profiled load sites (deterministic order: ascending pc). */
+    virtual std::vector<const SiteProfile *> sites() const = 0;
+
+    /** Dynamic execution count of any static instruction. */
+    virtual std::uint64_t execCount(std::uint32_t pc) const = 0;
+
+    /** Value locality of a load site in percent (§5.6). */
+    virtual double valueLocalityPercent(std::uint32_t pc) const = 0;
+
+    /** The arena owning a candidate tree's representative nodes. */
+    virtual const DepTracker &treeArena(const CandidateTree &tree) const = 0;
+};
+
+/**
  * Machine observer implementing the profiling pass. Attach to a classic
  * Machine, run the program, then hand the result to the amnesic
  * compiler.
  */
-class Profiler : public MachineObserver
+class Profiler : public MachineObserver, public ProfileSource
 {
   public:
+    /**
+     * Producer/value state a window profiler starts from: the seed
+     * pass's DepTracker (register + memory producers at the window
+     * boundary) and each load site's previous value.
+     */
+    struct Seed
+    {
+        DepTracker tracker;
+        ValueLocalityProfiler::SeedMap lastValues;
+    };
+
     explicit Profiler(const ProfilerConfig &config = {});
+
+    /**
+     * Window-mode constructor (sharded profiling): starts from seeded
+     * producer/value state and remembers unboundedly many distinct tree
+     * shapes per site. The serial maxDistinctTrees cap is applied by
+     * the merge instead — a per-window cap could drop occurrences of a
+     * shape whose *global* first occurrence is within the cap (see
+     * src/profile/shard.cc).
+     */
+    Profiler(const ProfilerConfig &config, Seed &&seed);
 
     void onExec(const ExecutionEngine &m, std::uint32_t pc,
                 const Instruction &instr) override;
@@ -124,16 +177,50 @@ class Profiler : public MachineObserver
                  std::uint64_t value, MemLevel serviced) override;
 
     /** Profile of one load site (nullptr if the site never executed). */
-    const SiteProfile *site(std::uint32_t pc) const;
+    const SiteProfile *site(std::uint32_t pc) const override;
 
     /** All profiled load sites (deterministic order: ascending pc). */
-    std::vector<const SiteProfile *> sites() const;
+    std::vector<const SiteProfile *> sites() const override;
 
     /** Dynamic execution count of any static instruction. */
-    std::uint64_t execCount(std::uint32_t pc) const;
+    std::uint64_t execCount(std::uint32_t pc) const override;
+
+    double valueLocalityPercent(std::uint32_t pc) const override
+    {
+        return _values.localityPercent(pc);
+    }
+
+    /** A serial profiler's trees all live in its own tracker. */
+    const DepTracker &treeArena(const CandidateTree &tree) const override
+    {
+        (void)tree;
+        return _tracker;
+    }
 
     const ValueLocalityProfiler &valueLocality() const { return _values; }
     const DepTracker &tracker() const { return _tracker; }
+
+    /** Raw per-site profiles (merge support; unordered). */
+    const std::unordered_map<std::uint32_t, SiteProfile> &siteMap() const
+    {
+        return _sites;
+    }
+
+    /** Raw execution counts (merge support; unordered). */
+    const std::unordered_map<std::uint32_t, std::uint64_t> &
+    execCountMap() const
+    {
+        return _execCounts;
+    }
+
+    /**
+     * Tracker mirroring for one pre-execution callback — shared by the
+     * full profiler and the seed-only boundary pass (src/profile/shard.cc)
+     * so their producer state can never drift apart.
+     */
+    static void mirrorExec(DepTracker &tracker, const ProfilerConfig &config,
+                           const ExecutionEngine &m, std::uint32_t pc,
+                           const Instruction &instr);
 
   private:
     void analyzeTree(const ExecutionEngine &m, SiteProfile &site,
@@ -142,6 +229,9 @@ class Profiler : public MachineObserver
                           NodeId node, int depth_left, int &nodes_left);
 
     ProfilerConfig _config;
+    /** Distinct-shape cap per site: the config's value for a serial
+     * run, effectively unlimited in window mode (see the Seed ctor). */
+    std::size_t _maxDistinctTrees;
     DepTracker _tracker;
     ValueLocalityProfiler _values;
     std::unordered_map<std::uint32_t, SiteProfile> _sites;

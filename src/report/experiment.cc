@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "analysis/analyzer.h"
+#include "report/artifact_cache.h"
 #include "sim/machine.h"
 #include "util/logging.h"
 
@@ -83,12 +84,14 @@ ExperimentRunner::effectiveJobs() const
 std::string
 ExperimentRunner::canonicalConfigString(const ExperimentConfig &config)
 {
-    // Every field below changes what the simulations compute; `jobs`
-    // and the trace-buffering knobs (traceEvents/traceMemory/
-    // traceMaxRecords) are excluded because tracing is passive and
-    // scheduling is content-free — that exclusion *is* the digest's
-    // claim. Append-only: new content-affecting fields must be added
-    // at the end so old digests stay comparable within a revision.
+    // Every field below changes what the simulations compute; `jobs`,
+    // the trace-buffering knobs (traceEvents/traceMemory/
+    // traceMaxRecords), and the artifact-cache knobs (cacheDir/noCache)
+    // are excluded because tracing is passive, scheduling is
+    // content-free, and a cache hit replays byte-identical compiler
+    // output — those exclusions *are* the digest's claim. Append-only:
+    // new content-affecting fields must be added at the end so old
+    // digests stay comparable within a revision.
     std::string out;
     out.reserve(768);
     char buf[64];
@@ -192,13 +195,42 @@ ExperimentRunner::prepare(BenchmarkResult &result,
     CompilerConfig compiler_config = _config.compiler;
     compiler_config.runLimit = _config.runLimit;
 
+    // The artifact cache is opt-in (explicit dir or environment) and
+    // content-free: a hit replays the byte-identical binary + stats a
+    // cold compile would produce, so only the wall-clock changes.
+    const std::string cache_dir =
+        _config.noCache ? std::string() : resolveCacheDir(_config.cacheDir);
+    auto compile_one = [this, &workload, cache_dir](
+                           CompilerConfig cfg, CompileResult &out,
+                           unsigned &cache_hits) {
+        if (!cache_dir.empty()) {
+            ArtifactCache cache(cache_dir);
+            std::uint64_t key = ArtifactCache::key(
+                workload.program, _config.energy, _config.hierarchy, cfg);
+            if (std::optional<CompileResult> hit = cache.load(key)) {
+                out = std::move(*hit);
+                ++cache_hits;
+                return;
+            }
+            AmnesicCompiler compiler(energyModel(), _config.hierarchy,
+                                     cfg);
+            out = compiler.compile(workload.program);
+            cache.store(key, out);
+            return;
+        }
+        AmnesicCompiler compiler(energyModel(), _config.hierarchy, cfg);
+        out = compiler.compile(workload.program);
+    };
+
     // Three independent jobs: the classic reference run and the two
     // compiles (each compile internally replays the program to profile
     // and dry-run-validate it). Their outputs land in disjoint fields —
-    // including the per-task wall-clocks (the two compile timings are
-    // summed only after the barrier).
+    // including the per-task wall-clocks and cache-hit flags (summed
+    // only after the barrier).
     double normal_compile_sec = 0.0;
     double oracle_compile_sec = 0.0;
+    unsigned normal_cache_hits = 0;
+    unsigned oracle_cache_hits = 0;
     std::vector<std::function<void()>> tasks;
     tasks.push_back([this, &result, &workload] {
         WallClock::time_point start = WallClock::now();
@@ -206,25 +238,21 @@ ExperimentRunner::prepare(BenchmarkResult &result,
         result.manifest.phases.classicSec = secondsSince(start);
     });
     if (need_normal)
-        tasks.push_back([this, &result, &workload, compiler_config,
-                         &normal_compile_sec]() {
+        tasks.push_back([&result, compiler_config, &compile_one,
+                         &normal_compile_sec, &normal_cache_hits]() {
             WallClock::time_point start = WallClock::now();
             CompilerConfig cfg = compiler_config;
             cfg.oracleSet = false;
-            AmnesicCompiler compiler(energyModel(), _config.hierarchy,
-                                     cfg);
-            result.compiled = compiler.compile(workload.program);
+            compile_one(cfg, result.compiled, normal_cache_hits);
             normal_compile_sec = secondsSince(start);
         });
     if (need_oracle)
-        tasks.push_back([this, &result, &workload, compiler_config,
-                         &oracle_compile_sec]() {
+        tasks.push_back([&result, compiler_config, &compile_one,
+                         &oracle_compile_sec, &oracle_cache_hits]() {
             WallClock::time_point start = WallClock::now();
             CompilerConfig cfg = compiler_config;
             cfg.oracleSet = true;
-            AmnesicCompiler compiler(energyModel(), _config.hierarchy,
-                                     cfg);
-            result.oracleCompiled = compiler.compile(workload.program);
+            compile_one(cfg, result.oracleCompiled, oracle_cache_hits);
             oracle_compile_sec = secondsSince(start);
         });
     parallelFor(pool, tasks.size(),
@@ -233,6 +261,12 @@ ExperimentRunner::prepare(BenchmarkResult &result,
         normal_compile_sec + oracle_compile_sec;
     result.manifest.phases.analysisSec =
         result.compiled.analysisSec + result.oracleCompiled.analysisSec;
+    result.manifest.phases.profileSec =
+        result.compiled.profileSec + result.oracleCompiled.profileSec;
+    result.manifest.profileShards =
+        std::max(result.compiled.profileShards,
+                 result.oracleCompiled.profileShards);
+    result.manifest.cacheHits = normal_cache_hits + oracle_cache_hits;
     result.manifest.prunedCandidates =
         result.compiled.stats.prunedSites +
         result.compiled.stats.prunedProductions +

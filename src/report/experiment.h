@@ -59,6 +59,18 @@ struct ExperimentConfig
      * provenance (harnesses that derive workloads from a seed set it;
      * it does not influence the runner itself). */
     std::uint64_t seed = 0;
+    /**
+     * Artifact-cache directory for compiled binaries. Empty falls back
+     * to the AMNESIAC_CACHE_DIR environment variable; if that is unset
+     * too, caching is off. Strictly opt-in and content-free: a cache
+     * hit replays the byte-identical binary, slices, and selection
+     * stats a cold compile would produce (tests/artifact_cache_test.cc
+     * holds it to that), so this is excluded from the config digest
+     * like the other scheduling knobs.
+     */
+    std::string cacheDir;
+    /** Hard-disable the artifact cache (wins over cacheDir + env). */
+    bool noCache = false;
 };
 
 /** One policy's run and its gains over classic execution (§5.1). */

@@ -197,6 +197,7 @@ fillMetrics(MetricsRegistry &metrics,
         };
         phase("classic", m.phases.classicSec);
         phase("compile", m.phases.compileSec);
+        phase("profile", m.phases.profileSec);
         phase("simulate", m.phases.simulateSec);
         phase("total", m.phases.totalSec);
         metrics.gaugeSet("amnesiac_analysis_pass_seconds{workload=\"" +
@@ -205,6 +206,11 @@ fillMetrics(MetricsRegistry &metrics,
         metrics.counterAdd("amnesiac_candidates_pruned_total{workload=\"" +
                                w + "\"}",
                            static_cast<double>(m.prunedCandidates));
+        metrics.gaugeSet("amnesiac_profile_shards{workload=\"" + w + "\"}",
+                         m.profileShards);
+        metrics.counterAdd("amnesiac_cache_hits_total{workload=\"" + w +
+                               "\"}",
+                           static_cast<double>(m.cacheHits));
         metrics.gaugeSet("amnesiac_jobs_effective{workload=\"" + w + "\"}",
                          m.jobsEffective);
         metrics.gaugeSet("amnesiac_pool_jobs_executed",

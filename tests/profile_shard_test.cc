@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Equivalence proof for sharded dependence profiling (DESIGN.md §3h):
+ * across the full workload registry, profiling split over K dynamic
+ * instruction windows must be indistinguishable from one serial
+ * Profiler pass — identical residence counts, candidate-tree signature
+ * multisets (values, counts, and first-occurrence order), live-operand
+ * statistics, value locality, and execution counts — and the compiler
+ * driven by it must emit byte-identical `.amnb` binaries. Includes a
+ * seeded fuzz sweep of window boundaries so splits land mid-slice
+ * (inside producer chains, between a producer and its consuming load).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "core/compiler.h"
+#include "isa/serialize.h"
+#include "profile/shard.h"
+#include "workloads/registry.h"
+
+namespace amnesiac {
+namespace {
+
+EnergyModel
+testEnergy()
+{
+    return EnergyModel{};
+}
+
+/** One serial profiling pass — the golden reference. */
+void
+profileSerial(const Program &program, Profiler &out)
+{
+    Machine machine(program, testEnergy());
+    machine.setObserver(&out);
+    machine.run();
+}
+
+/** Deep equality of a merged profile against the serial reference. */
+void
+expectProfilesEqual(const Program &program, const Profiler &serial,
+                    const ShardedProfile &sharded, const std::string &ctx)
+{
+    for (std::uint32_t pc = 0; pc < program.code.size(); ++pc)
+        ASSERT_EQ(serial.execCount(pc), sharded.execCount(pc))
+            << ctx << ": execCount diverges at pc " << pc;
+
+    std::vector<const SiteProfile *> expect = serial.sites();
+    std::vector<const SiteProfile *> actual = sharded.sites();
+    ASSERT_EQ(expect.size(), actual.size()) << ctx << ": site count";
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+        const SiteProfile &a = *expect[i];
+        const SiteProfile &b = *actual[i];
+        ASSERT_EQ(a.pc, b.pc) << ctx;
+        const std::string site_ctx =
+            ctx + ": site pc " + std::to_string(a.pc);
+        EXPECT_EQ(a.count, b.count) << site_ctx;
+        EXPECT_EQ(a.byLevel, b.byLevel) << site_ctx;
+        EXPECT_EQ(a.untracked, b.untracked) << site_ctx;
+        EXPECT_EQ(a.treeOverflow, b.treeOverflow) << site_ctx;
+
+        ASSERT_EQ(a.trees.size(), b.trees.size()) << site_ctx;
+        for (std::size_t t = 0; t < a.trees.size(); ++t) {
+            EXPECT_EQ(a.trees[t].signature, b.trees[t].signature)
+                << site_ctx << " tree " << t << " (order-sensitive)";
+            EXPECT_EQ(a.trees[t].count, b.trees[t].count)
+                << site_ctx << " tree " << t;
+            // The representatives are the same dynamic instance (the
+            // shape's global first occurrence), recorded in different
+            // arenas: their structural signatures must agree.
+            EXPECT_EQ(treeSignature(serial.treeArena(a.trees[t]),
+                                    a.trees[t].representative, 80, 256),
+                      treeSignature(sharded.treeArena(b.trees[t]),
+                                    b.trees[t].representative, 80, 256))
+                << site_ctx << " tree " << t << " representative";
+        }
+
+        ASSERT_EQ(a.operandLive.size(), b.operandLive.size()) << site_ctx;
+        for (const auto &[key, stat] : a.operandLive) {
+            auto it = b.operandLive.find(key);
+            ASSERT_NE(it, b.operandLive.end())
+                << site_ctx << " operand key " << key;
+            EXPECT_EQ(stat.matches, it->second.matches)
+                << site_ctx << " operand key " << key;
+            EXPECT_EQ(stat.seen, it->second.seen)
+                << site_ctx << " operand key " << key;
+        }
+
+        EXPECT_EQ(serial.valueLocalityPercent(a.pc),
+                  sharded.valueLocalityPercent(b.pc))
+            << site_ctx << " value locality";
+    }
+}
+
+/**
+ * The full-registry sweep at hardware concurrency — the widest split
+ * the production pipeline will ever request — must reproduce the
+ * serial profile exactly for every registered workload. (The cheaper
+ * shard counts are swept exhaustively over the generic trio below;
+ * running every K over the paper suite would multiply the suite's
+ * wall-clock several-fold for no additional merge-path coverage.)
+ */
+TEST(ProfileShard, FullRegistryMatchesSerialAtHardwareConcurrency)
+{
+    for (const std::string &name : registeredWorkloads()) {
+        Workload workload = makeWorkload(name);
+        ProfilerConfig config;
+        Profiler serial(config);
+        profileSerial(workload.program, serial);
+
+        ShardOptions options;
+        options.jobs = 0;
+        auto sharded = profileSharded(workload.program, testEnergy(),
+                                      HierarchyConfig{}, config, options);
+        ASSERT_GE(sharded->shards(), 1u);
+        expectProfilesEqual(workload.program, serial, *sharded,
+                            name + " jobs=hw");
+    }
+}
+
+/**
+ * Exhaustive shard-count sweep (K = 1, 2, 4, hardware) over the
+ * generic workloads: every merge path — single window, two-way, the
+ * remainder-spreading even split, and a machine-dependent width —
+ * reproduces the serial profile.
+ */
+TEST(ProfileShard, ShardCountSweepMatchesSerial)
+{
+    const std::vector<std::string> names = {"stream-recompute",
+                                            "hist-stress", "compute-bound"};
+    for (const std::string &name : names) {
+        Workload workload = makeWorkload(name);
+        ProfilerConfig config;
+        Profiler serial(config);
+        profileSerial(workload.program, serial);
+
+        for (unsigned jobs : {1u, 2u, 4u, 0u}) {
+            ShardOptions options;
+            options.jobs = jobs;
+            auto sharded = profileSharded(workload.program, testEnergy(),
+                                          HierarchyConfig{}, config, options);
+            ASSERT_GE(sharded->shards(), 1u);
+            expectProfilesEqual(
+                workload.program, serial, *sharded,
+                name + " jobs=" + std::to_string(jobs));
+        }
+    }
+}
+
+/**
+ * Fuzz the window boundaries: random splits (many of them tiny) land
+ * mid-slice — between a chain's productions and the load consuming
+ * them — and the seeded replay must still reconstruct every tree.
+ */
+TEST(ProfileShard, FuzzedWindowBoundariesMatchSerial)
+{
+    const std::vector<std::string> names = {"stream-recompute",
+                                            "hist-stress", "compute-bound"};
+    std::mt19937_64 rng(0xA3C5E7u);
+    for (const std::string &name : names) {
+        Workload workload = makeWorkload(name);
+        ProfilerConfig config;
+        Profiler serial(config);
+        profileSerial(workload.program, serial);
+
+        for (int round = 0; round < 6; ++round) {
+            ShardOptions options;
+            options.jobs = 4;
+            // Between 2 and 9 windows with lengths drawn from a wide
+            // range, so boundaries fall at arbitrary (often adjacent)
+            // dynamic instructions; the implicit final window covers
+            // the remainder.
+            std::uniform_int_distribution<int> window_count(2, 9);
+            std::uniform_int_distribution<std::uint64_t> window_len(1, 4000);
+            int windows = window_count(rng);
+            for (int w = 0; w < windows; ++w)
+                options.windowLengths.push_back(window_len(rng));
+            auto sharded = profileSharded(workload.program, testEnergy(),
+                                          HierarchyConfig{}, config, options);
+            expectProfilesEqual(workload.program, serial, *sharded,
+                                name + " round " + std::to_string(round));
+        }
+    }
+}
+
+/** Compile under each jobs value and compare against the serial pass. */
+void
+expectCompilesIdentical(const Workload &workload,
+                        const std::vector<unsigned> &jobs_sweep)
+{
+    EnergyModel energy = testEnergy();
+    AmnesicCompiler serial_compiler(energy, HierarchyConfig{},
+                                    CompilerConfig{});
+    CompileResult serial = serial_compiler.compile(workload.program);
+    EXPECT_EQ(serial.profileShards, 1u);
+    std::vector<std::uint8_t> golden = serializeProgram(serial.program);
+
+    for (unsigned jobs : jobs_sweep) {
+        CompilerConfig config;
+        config.profileJobs = jobs;
+        AmnesicCompiler compiler(energy, HierarchyConfig{}, config);
+        CompileResult sharded = compiler.compile(workload.program);
+        EXPECT_GE(sharded.profileShards, 1u);
+        EXPECT_EQ(golden, serializeProgram(sharded.program))
+            << workload.name << " jobs=" << jobs
+            << ": sharded compile diverged from serial";
+        EXPECT_EQ(serial.slices.size(), sharded.slices.size())
+            << workload.name;
+        EXPECT_EQ(serial.stats.selected, sharded.stats.selected)
+            << workload.name;
+        EXPECT_EQ(serial.stats.rejectedCold, sharded.stats.rejectedCold)
+            << workload.name;
+        EXPECT_EQ(serial.stats.rejectedUnstable,
+                  sharded.stats.rejectedUnstable)
+            << workload.name;
+        EXPECT_EQ(serial.stats.recInsertions, sharded.stats.recInsertions)
+            << workload.name;
+    }
+}
+
+/**
+ * End-to-end acceptance bar: the compiler at hardware concurrency must
+ * select the same candidates and emit byte-identical binaries as the
+ * serial compiler, across the full registry. Sharding is scheduling,
+ * never policy.
+ */
+TEST(ProfileShard, CompiledBinaryBytesIdenticalAcrossRegistry)
+{
+    for (const std::string &name : registeredWorkloads())
+        expectCompilesIdentical(makeWorkload(name), {0u});
+}
+
+/** Fixed shard counts (K = 2, 4) over the generic trio, end-to-end. */
+TEST(ProfileShard, CompiledBinaryBytesIdenticalAtFixedShardCounts)
+{
+    for (const std::string &name :
+         {"stream-recompute", "hist-stress", "compute-bound"})
+        expectCompilesIdentical(makeWorkload(name), {2u, 4u});
+}
+
+/** Window mode with a single window is still exactly the serial run. */
+TEST(ProfileShard, SingleWindowDegeneratesToSerial)
+{
+    Workload workload = makeWorkload("stream-recompute");
+    ProfilerConfig config;
+    Profiler serial(config);
+    profileSerial(workload.program, serial);
+
+    ShardOptions options;
+    options.jobs = 1;
+    auto sharded = profileSharded(workload.program, testEnergy(),
+                                  HierarchyConfig{}, config, options);
+    EXPECT_EQ(sharded->shards(), 1u);
+    expectProfilesEqual(workload.program, serial, *sharded, "single-window");
+}
+
+}  // namespace
+}  // namespace amnesiac

@@ -9,6 +9,12 @@
  *                          (default: all)
  *   --jobs <n>             experiment-pipeline worker threads
  *                          (0 = hardware_concurrency, 1 = serial)
+ *   --profile-jobs <n>     windows for the dependence-profiling pass
+ *                          (1 = serial, 0 = hardware concurrency,
+ *                          K > 1 fixed; output is byte-identical)
+ *   --cache-dir <path>     compiled-artifact cache directory (default:
+ *                          $AMNESIAC_CACHE_DIR if set, else disabled)
+ *   --no-cache             disable the artifact cache
  *   --seed <n>             workload seed (default 1)
  *   --scale <x>            non-memory EPI scale, the §5.5 R knob
  *   --timing <b>           cycle backend: scalar | pipelined
@@ -62,7 +68,8 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--list] [--policy <p>] [--seed <n>] "
-                 "[--jobs <n>] [--scale <x>] "
+                 "[--jobs <n>] [--profile-jobs <n>] "
+                 "[--cache-dir <path>] [--no-cache] [--scale <x>] "
                  "[--timing <scalar|pipelined>] "
                  "[--predictor <nottaken|bimodal|gshare>] [--hist <n>] "
                  "[--sfile <n>] [--per-site-model] [--trace <path>] "
@@ -115,6 +122,13 @@ main(int argc, char **argv)
         } else if (arg == "--jobs") {
             config.jobs = static_cast<unsigned>(
                 std::strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--profile-jobs") {
+            config.compiler.profileJobs = static_cast<unsigned>(
+                std::strtoul(next().c_str(), nullptr, 10));
+        } else if (arg == "--cache-dir") {
+            config.cacheDir = next();
+        } else if (arg == "--no-cache") {
+            config.noCache = true;
         } else if (arg == "--scale") {
             config.energy.nonMemScale = std::strtod(next().c_str(), nullptr);
         } else if (arg == "--timing") {
