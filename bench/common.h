@@ -4,8 +4,9 @@
  * the 11-benchmark suite, runs the §5 pipeline (fanned out over the
  * experiment thread pool), parses the command-line knobs every harness
  * shares — including the observability outputs (--trace /
- * --site-report / --metrics) — and prints the Table 3 configuration
- * echo every harness leads with.
+ * --site-report / --metrics) and the host-side span profiler
+ * (--prof / --prof-out / --prof-report) — and prints the Table 3
+ * configuration echo every harness leads with.
  */
 
 #ifndef AMNESIAC_BENCH_COMMON_H
@@ -18,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/span.h"
 #include "report/experiment.h"
 #include "report/figures.h"
 #include "report/obs_export.h"
@@ -34,7 +36,50 @@ struct BenchArgs
     std::string tracePath;       ///< Chrome trace-event JSON
     std::string siteReportPath;  ///< ranked per-site text report
     std::string metricsPath;     ///< Prometheus text exposition
+    /** Host-side span profiling (process-wide, works in every harness
+     * including the sweeps — the profiler aggregates over whatever the
+     * process runs). */
+    bool prof = false;           ///< --prof, implied by the two paths
+    std::string profOutPath;     ///< host-span Chrome trace JSON
+    std::string profReportPath;  ///< aggregated flame table (text)
 };
+
+inline void writeArtifact(const std::string &path,
+                          const std::string &content);
+
+/**
+ * Turn on the host-side span profiler and register an exit-time writer
+ * for its artifacts: the Chrome trace to `profOutPath` (if set) and the
+ * flame table to `profReportPath` (if set) or stderr otherwise. Writing
+ * at exit keeps the instrumentation window maximal — teardown included
+ * — and spares the 21 harness mains from any per-harness plumbing.
+ * No-op unless profiling was requested.
+ */
+inline void
+enableHostProfiling(const BenchArgs &args)
+{
+    if (!args.prof)
+        return;
+    // atexit handlers cannot capture; stash the paths in function-local
+    // statics (initialized exactly once, before the handler can run).
+    static std::string prof_out;
+    static std::string prof_report;
+    prof_out = args.profOutPath;
+    prof_report = args.profReportPath;
+    SpanProfiler::instance().enable();
+    std::atexit([]() {
+        SpanProfiler::instance().disable();
+        const std::vector<SpanProfiler::ThreadSpans> threads =
+            SpanProfiler::instance().collect();
+        if (!prof_out.empty())
+            writeArtifact(prof_out, renderHostSpanChromeTrace(threads));
+        if (!prof_report.empty())
+            writeArtifact(prof_report, renderSpanFlameTable(threads));
+        else
+            std::fprintf(stderr, "\n[prof] host-span flame table\n%s",
+                         renderSpanFlameTable(threads).c_str());
+    });
+}
 
 /**
  * Parse the harness-wide flags shared by every bench binary:
@@ -61,6 +106,12 @@ struct BenchArgs
  *   --metrics <path>    write Prometheus metrics for the run
  *   --max-records <n>   per-policy trace buffer cap (count-based and
  *                       deterministic; exports state the dropped count)
+ *   --prof              enable the host-side span profiler (flame
+ *                       table to stderr at exit unless redirected)
+ *   --prof-out <path>   write the host spans as Chrome trace JSON
+ *                       (implies --prof)
+ *   --prof-report <path> write the flame table there instead of
+ *                       stderr (implies --prof)
  *
  * Both `--flag value` and `--flag=value` spellings are accepted.
  * Unknown flags abort with a usage message so typos never silently run
@@ -131,6 +182,12 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--max-records") {
             args.config.traceMaxRecords =
                 std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--prof") {
+            args.prof = true;
+        } else if (arg == "--prof-out") {
+            args.profOutPath = next();
+        } else if (arg == "--prof-report") {
+            args.profReportPath = next();
         } else {
             std::fprintf(stderr,
                          "usage: %s [--jobs <n>] [--profile-jobs <n>] "
@@ -139,7 +196,8 @@ parseArgs(int argc, char **argv)
                          "[--predictor <nottaken|bimodal|gshare>] "
                          "[--trace <path>] "
                          "[--site-report <path>] [--metrics <path>] "
-                         "[--max-records <n>]\n",
+                         "[--max-records <n>] [--prof] [--prof-out <path>] "
+                         "[--prof-report <path>]\n",
                          argv[0]);
             std::exit(2);
         }
@@ -148,6 +206,9 @@ parseArgs(int argc, char **argv)
     // actually going somewhere. Site attribution is always on.
     args.config.traceEvents = !args.tracePath.empty();
     args.config.seed = args.seed;
+    args.prof = args.prof || !args.profOutPath.empty() ||
+                !args.profReportPath.empty();
+    enableHostProfiling(args);
     return args;
 }
 
@@ -204,15 +265,24 @@ inline void
 writeObsArtifacts(const BenchArgs &args,
                   const std::vector<BenchmarkResult> &results)
 {
+    // A --trace/--metrics written while --prof is live also carries the
+    // host spans recorded so far (the pool is idle here, so collect()'s
+    // quiescence requirement holds); the exit-time --prof-out artifact
+    // additionally covers teardown.
+    const std::vector<SpanProfiler::ThreadSpans> host =
+        SpanProfiler::enabled() ? SpanProfiler::instance().collect()
+                                : std::vector<SpanProfiler::ThreadSpans>{};
     if (!args.tracePath.empty())
         writeArtifact(args.tracePath,
                       renderChromeTrace(traceTracks(results),
-                                        phaseSpans(results)));
+                                        phaseSpans(results), host));
     if (!args.siteReportPath.empty())
         writeArtifact(args.siteReportPath, renderAllSiteReports(results));
     if (!args.metricsPath.empty()) {
         MetricsRegistry metrics;
         fillMetrics(metrics, results);
+        if (!host.empty())
+            fillHostSpanMetrics(metrics, host);
         writeArtifact(args.metricsPath, metrics.renderPrometheus());
     }
 }

@@ -1,5 +1,7 @@
 #include "analysis/analyzer.h"
 
+#include "obs/span.h"
+
 namespace amnesiac {
 
 const std::vector<PassInfo> &
@@ -31,24 +33,55 @@ standardPasses()
 AnalysisReport
 analyzeProgram(const Program &program, const AnalyzerOptions &options)
 {
+    // Span names mirror standardPasses() order; the host profiler's
+    // colon convention keeps each lint pass its own flame-table row.
     AnalysisReport report;
-    runStructurePass(program, report);
+    {
+        ScopedSpan span("lint:structure", program.name);
+        runStructurePass(program, report);
+    }
     if (program.code.empty() || program.codeEnd > program.code.size()) {
         report.sort();
         return report;
     }
     AnalysisContext ctx(program);
-    runPurityPass(ctx, report);
-    runCoveragePass(ctx, report);
-    runCapacityPass(ctx, options, report);
-    runTerminationPass(ctx, report);
-    runIntegrityPass(ctx, report);
-    runCostPass(ctx, options, report);
+    {
+        ScopedSpan span("lint:purity", program.name);
+        runPurityPass(ctx, report);
+    }
+    {
+        ScopedSpan span("lint:coverage", program.name);
+        runCoveragePass(ctx, report);
+    }
+    {
+        ScopedSpan span("lint:capacity", program.name);
+        runCapacityPass(ctx, options, report);
+    }
+    {
+        ScopedSpan span("lint:termination", program.name);
+        runTerminationPass(ctx, report);
+    }
+    {
+        ScopedSpan span("lint:integrity", program.name);
+        runIntegrityPass(ctx, report);
+    }
+    {
+        ScopedSpan span("lint:cost", program.name);
+        runCostPass(ctx, options, report);
+    }
     // Solved once, shared by both dataflow-backed passes (the compiler
     // reuses the same facts for its static candidate pruner).
+    ScopedSpan dataflow_span("lint:dataflow", program.name);
     DataflowFacts facts(program);
-    runValueRangePass(ctx, facts, report);
-    runCheckpointPass(ctx, facts, options, report);
+    dataflow_span.stop();
+    {
+        ScopedSpan span("lint:valuerange", program.name);
+        runValueRangePass(ctx, facts, report);
+    }
+    {
+        ScopedSpan span("lint:checkpoint", program.name);
+        runCheckpointPass(ctx, facts, options, report);
+    }
     report.sort();
     return report;
 }

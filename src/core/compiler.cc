@@ -33,6 +33,22 @@ AmnesicCompiler::compile(const Program &input) const
     using Clock = std::chrono::steady_clock;
     CompileResult result;
 
+    // Top-level span covers the whole compile; per-pass spans nest
+    // under it. The lap timer runs alongside: every named segment
+    // records the wall time since the previous one, so the passTimes
+    // table is gap-free and sums to the body's wall clock.
+    ScopedSpan compile_span(_config.oracleSet ? "compile:oracle" : "compile",
+                            input.name);
+    auto lap_start = Clock::now();
+    auto lap = [&](const char *name) {
+        const auto now = Clock::now();
+        const double sec =
+            std::chrono::duration<double>(now - lap_start).count();
+        result.passTimes.push_back({name, sec});
+        lap_start = now;
+        return sec;
+    };
+
     // --- pass 0: static candidate pruning (fixpoint dataflow) ---
     // Rules the abstract interpretation can decide ahead of execution
     // (dead/cold sites, read-only inputs, slice-free value flows) are
@@ -40,7 +56,7 @@ AmnesicCompiler::compile(const Program &input) const
     // work for them. Conservative only: see CompilerConfig::prune.
     ProfilerConfig prof_config;
     if (_config.prune) {
-        auto t0 = Clock::now();
+        ScopedSpan span("pass:prune", input.name);
         DataflowFacts facts(input);
         StaticPruneOptions prune_opts;
         prune_opts.minSiteCount = _config.minSiteCount;
@@ -50,42 +66,47 @@ AmnesicCompiler::compile(const Program &input) const
         prune_opts.energy = &_energy;
         StaticPruneResult pruned =
             computeStaticPrune(input, facts, prune_opts);
-        result.analysisSec +=
-            std::chrono::duration<double>(Clock::now() - t0).count();
         result.stats.prunedSites = pruned.prunedSites;
         result.stats.prunedProductions = pruned.prunedProductions;
         prof_config.skipSiteAnalysis = std::move(pruned.skipSiteAnalysis);
         prof_config.opaqueProduction = std::move(pruned.opaqueProduction);
+        span.counter("prunedSites", pruned.prunedSites);
+        span.counter("prunedProds", pruned.prunedProductions);
     }
+    result.analysisSec += lap("prune");
 
     // --- pass 1: dependence + residence profiling (§3.1.1, §4) ---
     // Serial by default; profileJobs != 1 shards the run over dynamic
     // instruction windows with a merge that reproduces the serial
     // profile exactly (src/profile/shard.h).
-    auto profile_t0 = Clock::now();
     std::unique_ptr<Profiler> serial_profiler;
     std::unique_ptr<ShardedProfile> sharded_profile;
     const ProfileSource *profile = nullptr;
-    if (_config.profileJobs == 1) {
-        serial_profiler = std::make_unique<Profiler>(prof_config);
-        Machine machine(input, _energy, _hierarchy);
-        machine.setObserver(serial_profiler.get());
-        machine.run(_config.runLimit);
-        profile = serial_profiler.get();
-    } else {
-        ShardOptions shard_opts;
-        shard_opts.jobs = _config.profileJobs;
-        shard_opts.runLimit = _config.runLimit;
-        sharded_profile = profileSharded(input, _energy, _hierarchy,
-                                         prof_config, shard_opts);
-        profile = sharded_profile.get();
-        result.profileShards = sharded_profile->shards();
+    {
+        ScopedSpan span("pass:profile", input.name);
+        if (_config.profileJobs == 1) {
+            serial_profiler = std::make_unique<Profiler>(prof_config);
+            Machine machine(input, _energy, _hierarchy);
+            machine.setObserver(serial_profiler.get());
+            machine.run(_config.runLimit);
+            profile = serial_profiler.get();
+        } else {
+            ShardOptions shard_opts;
+            shard_opts.jobs = _config.profileJobs;
+            shard_opts.runLimit = _config.runLimit;
+            sharded_profile = profileSharded(input, _energy, _hierarchy,
+                                             prof_config, shard_opts);
+            profile = sharded_profile.get();
+            result.profileShards = sharded_profile->shards();
+        }
+        span.counter("shards", result.profileShards);
     }
-    result.profileSec =
-        std::chrono::duration<double>(Clock::now() - profile_t0).count();
+    result.profileSec = lap("profile");
 
     CostModel cost(_energy);
     SliceBuilder builder(_energy, _config.builder);
+
+    ScopedSpan select_span("pass:select", input.name);
 
     // Global per-level residence distribution (the paper's Pr_Li model).
     std::array<double, kNumMemLevels> global_pr{};
@@ -141,9 +162,14 @@ AmnesicCompiler::compile(const Program &input) const
         slice->valueLocalityPct = profile->valueLocalityPercent(site->pc);
         candidates.push_back(std::move(*slice));
     }
+    select_span.counter("sitesSeen", result.stats.sitesSeen);
+    select_span.counter("candidates", candidates.size());
+    select_span.stop();
+    lap("select");
 
     // --- pass 2: functional dry-run validation (DESIGN.md §5) ---
     if (!candidates.empty()) {
+        ScopedSpan span("pass:dryrun", input.name);
         DryRunValidator validator(candidates);
         Machine machine(input, _energy, _hierarchy);
         machine.setObserver(&validator);
@@ -161,7 +187,9 @@ AmnesicCompiler::compile(const Program &input) const
             validated.push_back(std::move(slice));
         }
         candidates = std::move(validated);
+        span.counter("validated", candidates.size());
     }
+    lap("dryrun");
 
     result.stats.selected = candidates.size();
     for (const RSlice &slice : candidates) {
@@ -170,8 +198,14 @@ AmnesicCompiler::compile(const Program &input) const
     }
 
     // --- pass 3: rewrite (§3.1.2) ---
-    result.program = rewrite(input, candidates, &result.stats);
-    result.slices = std::move(candidates);
+    {
+        ScopedSpan span("pass:rewrite", input.name);
+        result.program = rewrite(input, candidates, &result.stats);
+        result.slices = std::move(candidates);
+        span.counter("selected", result.stats.selected);
+        span.counter("instrs", result.program.code.size());
+    }
+    lap("rewrite");
 
     // --- pass 4: mandatory analysis gate ---
     // A compiler that emits a structurally broken binary is a compiler
@@ -179,10 +213,10 @@ AmnesicCompiler::compile(const Program &input) const
     // machine corrupt state later.
     AnalyzerOptions lint;
     lint.energy = _energy.config();
-    auto gate_t0 = Clock::now();
+    ScopedSpan gate_span("pass:gate", input.name);
     AnalysisReport report = analyzeProgram(result.program, lint);
-    result.analysisSec +=
-        std::chrono::duration<double>(Clock::now() - gate_t0).count();
+    gate_span.stop();
+    result.analysisSec += lap("gate");
     if (report.hasErrors())
         AMNESIAC_FATAL(std::string("compiler emitted an ill-formed "
                                    "binary:\n") +

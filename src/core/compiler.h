@@ -15,6 +15,7 @@
 #include "energy/epi.h"
 #include "isa/program.h"
 #include "mem/hierarchy.h"
+#include "obs/span.h"
 
 namespace amnesiac {
 
@@ -116,6 +117,15 @@ struct CompileResult
     double profileSec = 0.0;
     /** Windows the profiling pass ran as (1 = the serial profiler). */
     unsigned profileShards = 1;
+    /**
+     * Gap-free per-pass wall-clock laps over the compile() body, in
+     * execution order (prune, profile, select, dryrun, rewrite, gate):
+     * each entry covers everything since the previous one, so the
+     * entries sum to the body's wall time. Diagnostic only — never
+     * serialized into cached artifacts (a cache hit legitimately has an
+     * empty table). Feeds RunManifest::passes.
+     */
+    std::vector<PassTime> passTimes;
 };
 
 /**

@@ -13,9 +13,14 @@
 #ifndef AMNESIAC_OBS_MANIFEST_H
 #define AMNESIAC_OBS_MANIFEST_H
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
+
+#include "obs/span.h"
+#include "util/thread_pool.h"
 
 namespace amnesiac {
 
@@ -39,6 +44,11 @@ struct PoolStats
     std::uint64_t jobsExecuted = 0;
     double queueWaitSec = 0.0;   ///< summed enqueue → start latency
     double workerBusySec = 0.0;  ///< summed task execution time
+    /** Queue-wait distribution (bucket layout from util/thread_pool.h;
+     * feeds the amnesiac_threadpool_queue_wait_seconds histogram).
+     * Carried in-memory to the metrics export, not rendered in the
+     * manifest JSON. */
+    std::array<std::uint64_t, kQueueWaitBucketCount> queueWaitBuckets{};
 };
 
 /** Provenance + cost of one BenchmarkResult. */
@@ -62,7 +72,15 @@ struct RunManifest
      * probabilistic and oracle sets cache independently). Depends on
      * disk state, so also outside the witness prefix. */
     unsigned cacheHits = 0;
+    /** Compiles that probed a configured cache and found nothing (the
+     * complement of cacheHits; 0 when no cache is configured). */
+    unsigned cacheMisses = 0;
     PhaseTimes phases;
+    /** Per-pass wall-clock breakdown of compileSec (both compiles,
+     * summed by pass name in first-appearance order; filled from the
+     * compiler's span laps, gap-free so the entries sum to compileSec
+     * within timer noise). Empty when every compile was a cache hit. */
+    std::vector<PassTime> passes;
     PoolStats pool;
 };
 

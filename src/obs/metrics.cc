@@ -85,14 +85,14 @@ MetricsRegistry::gaugeSet(const std::string &name, double value)
 void
 MetricsRegistry::histogramObserve(const std::string &name, double sample,
                                   double bucket_width,
-                                  std::size_t bucket_count)
+                                  std::size_t bucket_count, double weight)
 {
     std::lock_guard<std::mutex> lock(_mutex);
     auto it = _histograms.find(name);
     if (it == _histograms.end())
         it = _histograms.emplace(name, Histogram(bucket_width, bucket_count))
                  .first;
-    it->second.add(sample);
+    it->second.addWeighted(sample, weight);
 }
 
 double

@@ -38,10 +38,13 @@ class MetricsRegistry
 
     /** Record one observation into a fixed-width-bucket histogram.
      * The first observation under a name fixes its bucketing; later
-     * calls with different bucketing reuse the existing one. */
+     * calls with different bucketing reuse the existing one. `weight`
+     * lets pre-aggregated bucket counts (e.g. the thread pool's
+     * queue-wait distribution) be replayed in one call per bucket. */
     void histogramObserve(const std::string &name, double sample,
                           double bucket_width = 1.0,
-                          std::size_t bucket_count = 32);
+                          std::size_t bucket_count = 32,
+                          double weight = 1.0);
 
     /** Current value of a counter/gauge (0 if absent). */
     double value(const std::string &name) const;

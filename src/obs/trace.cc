@@ -371,7 +371,8 @@ renderTraceJsonl(const TraceBuffer &buffer)
 
 std::string
 renderChromeTrace(const std::vector<TraceTrack> &tracks,
-                  const std::vector<PhaseSpan> &phases)
+                  const std::vector<PhaseSpan> &phases,
+                  const std::vector<SpanProfiler::ThreadSpans> &host)
 {
     std::string out = "{\"traceEvents\":[\n";
     bool first = true;
@@ -409,6 +410,10 @@ renderChromeTrace(const std::vector<TraceTrack> &tracks,
                 appendChromeEvent(out, first, r, tid);
         ++tid;
     }
+
+    // pid 2: the host profiler's wall-clock thread tracks.
+    appendHostSpanChromeEvents(out, first, host, /*pid=*/2);
+
     out += "\n]}\n";
     return out;
 }

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/amnesic_machine.h"
+#include "obs/span.h"
 
 namespace amnesiac {
 
@@ -274,10 +275,16 @@ struct PhaseSpan
  * each track renders as its own tid with slice entry/exit as B/E
  * duration events and everything else as instant events, timestamped in
  * simulated cycles; phase spans render as complete (X) events on tid 0.
- * Loadable by chrome://tracing and Perfetto's legacy importer.
+ * When `host` is non-empty (a SpanProfiler::collect() snapshot), the
+ * host-profiler spans merge in as pid-2 tracks — one per real host
+ * thread, timestamped in wall-clock microseconds; the pid split keeps
+ * the cycle and wall-clock timelines from sharing an axis. Loadable by
+ * chrome://tracing and Perfetto's legacy importer.
  */
-std::string renderChromeTrace(const std::vector<TraceTrack> &tracks,
-                              const std::vector<PhaseSpan> &phases = {});
+std::string renderChromeTrace(
+    const std::vector<TraceTrack> &tracks,
+    const std::vector<PhaseSpan> &phases = {},
+    const std::vector<SpanProfiler::ThreadSpans> &host = {});
 
 }  // namespace amnesiac
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/span.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -220,9 +221,11 @@ profileSharded(const Program &program, const EnergyModel &energy,
     // exactly as it would under Machine::run).
     std::uint64_t total = 0;
     {
+        ScopedSpan span("profile:A0", program.name);
         Machine measure(program, energy, hierarchy);
         measure.run(options.runLimit);
         total = measure.stats().dynInstrs;
+        span.counter("instrs", total);
     }
 
     std::vector<std::uint64_t> lens =
@@ -237,6 +240,8 @@ profileSharded(const Program &program, const EnergyModel &energy,
     std::vector<EngineSnapshot> snaps(windows);
     std::vector<Profiler::Seed> seeds(windows);
     if (windows > 1) {
+        ScopedSpan span("profile:A1", program.name);
+        span.counter("windows", windows);
         Machine seeder_machine(program, energy, hierarchy);
         SeedObserver seeder(config);
         seeder_machine.setObserver(&seeder);
@@ -253,9 +258,14 @@ profileSharded(const Program &program, const EnergyModel &energy,
     auto profile = std::unique_ptr<ShardedProfile>(new ShardedProfile());
     profile->_windows.resize(windows);
     {
+        ScopedSpan span("profile:B", program.name);
+        span.counter("windows", windows);
         ThreadPool pool(
             std::min<unsigned>(jobs, static_cast<unsigned>(windows)));
         parallelFor(&pool, windows, [&](std::size_t k) {
+            ScopedSpan window_span("profile:window", program.name);
+            window_span.counter("window", k);
+            window_span.counter("instrs", lens[k]);
             Machine machine(program, energy, hierarchy);
             if (k > 0)
                 machine.restore(snaps[k]);
@@ -266,7 +276,10 @@ profileSharded(const Program &program, const EnergyModel &energy,
         });
     }
 
-    profile->mergeWindows(config);
+    {
+        ScopedSpan span("profile:merge", program.name);
+        profile->mergeWindows(config);
+    }
     return profile;
 }
 

@@ -12,6 +12,7 @@
 
 #include "isa/serialize.h"
 #include "obs/manifest.h"
+#include "obs/span.h"
 #include "util/logging.h"
 
 namespace amnesiac {
@@ -298,6 +299,17 @@ ArtifactCache::entryPath(std::uint64_t key) const
 std::optional<CompileResult>
 ArtifactCache::load(std::uint64_t key) const
 {
+    ScopedSpan span("cache:probe");
+    std::optional<CompileResult> result = loadValidated(key);
+    span.counter("hit", result ? 1 : 0);
+    if (result)
+        span.counter("slices", result->slices.size());
+    return result;
+}
+
+std::optional<CompileResult>
+ArtifactCache::loadValidated(std::uint64_t key) const
+{
     std::ifstream in(entryPath(key), std::ios::binary);
     if (!in)
         return std::nullopt;
@@ -357,6 +369,7 @@ ArtifactCache::load(std::uint64_t key) const
 void
 ArtifactCache::store(std::uint64_t key, const CompileResult &result) const
 {
+    ScopedSpan span("cache:publish");
     Writer w;
     w.putBytes(kMagic, sizeof(kMagic));
     w.put(kArtifactCacheVersion);
@@ -371,6 +384,7 @@ ArtifactCache::store(std::uint64_t key, const CompileResult &result) const
     w.put(fnv1aDigest(std::string_view(
         reinterpret_cast<const char *>(w.bytes().data()),
         w.bytes().size())));
+    span.counter("bytes", w.bytes().size());
 
     // Unique temp name per writer, then an atomic rename: concurrent
     // stores of one key race harmlessly (their bytes are identical by

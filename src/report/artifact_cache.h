@@ -76,6 +76,8 @@ class ArtifactCache
     const std::string &dir() const { return _dir; }
 
   private:
+    std::optional<CompileResult> loadValidated(std::uint64_t key) const;
+
     std::string _dir;
 };
 

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "analysis/analyzer.h"
+#include "obs/span.h"
 #include "report/artifact_cache.h"
 #include "sim/machine.h"
 #include "util/logging.h"
@@ -185,6 +186,7 @@ ExperimentRunner::prepare(BenchmarkResult &result,
                           const std::vector<Policy> &policies,
                           ThreadPool *pool) const
 {
+    ScopedSpan prepare_span("prepare", workload.name);
     result.name = workload.name;
 
     bool need_oracle = std::any_of(policies.begin(), policies.end(),
@@ -202,7 +204,7 @@ ExperimentRunner::prepare(BenchmarkResult &result,
         _config.noCache ? std::string() : resolveCacheDir(_config.cacheDir);
     auto compile_one = [this, &workload, cache_dir](
                            CompilerConfig cfg, CompileResult &out,
-                           unsigned &cache_hits) {
+                           unsigned &cache_hits, unsigned &cache_misses) {
         if (!cache_dir.empty()) {
             ArtifactCache cache(cache_dir);
             std::uint64_t key = ArtifactCache::key(
@@ -212,6 +214,7 @@ ExperimentRunner::prepare(BenchmarkResult &result,
                 ++cache_hits;
                 return;
             }
+            ++cache_misses;
             AmnesicCompiler compiler(energyModel(), _config.hierarchy,
                                      cfg);
             out = compiler.compile(workload.program);
@@ -231,28 +234,36 @@ ExperimentRunner::prepare(BenchmarkResult &result,
     double oracle_compile_sec = 0.0;
     unsigned normal_cache_hits = 0;
     unsigned oracle_cache_hits = 0;
+    unsigned normal_cache_misses = 0;
+    unsigned oracle_cache_misses = 0;
     std::vector<std::function<void()>> tasks;
     tasks.push_back([this, &result, &workload] {
+        ScopedSpan span("classic", workload.name);
         WallClock::time_point start = WallClock::now();
         result.classic = runClassic(workload.program);
         result.manifest.phases.classicSec = secondsSince(start);
+        span.counter("instrs", result.classic.dynInstrs);
     });
     if (need_normal)
         tasks.push_back([&result, compiler_config, &compile_one,
-                         &normal_compile_sec, &normal_cache_hits]() {
+                         &normal_compile_sec, &normal_cache_hits,
+                         &normal_cache_misses]() {
             WallClock::time_point start = WallClock::now();
             CompilerConfig cfg = compiler_config;
             cfg.oracleSet = false;
-            compile_one(cfg, result.compiled, normal_cache_hits);
+            compile_one(cfg, result.compiled, normal_cache_hits,
+                        normal_cache_misses);
             normal_compile_sec = secondsSince(start);
         });
     if (need_oracle)
         tasks.push_back([&result, compiler_config, &compile_one,
-                         &oracle_compile_sec, &oracle_cache_hits]() {
+                         &oracle_compile_sec, &oracle_cache_hits,
+                         &oracle_cache_misses]() {
             WallClock::time_point start = WallClock::now();
             CompilerConfig cfg = compiler_config;
             cfg.oracleSet = true;
-            compile_one(cfg, result.oracleCompiled, oracle_cache_hits);
+            compile_one(cfg, result.oracleCompiled, oracle_cache_hits,
+                        oracle_cache_misses);
             oracle_compile_sec = secondsSince(start);
         });
     parallelFor(pool, tasks.size(),
@@ -267,6 +278,28 @@ ExperimentRunner::prepare(BenchmarkResult &result,
         std::max(result.compiled.profileShards,
                  result.oracleCompiled.profileShards);
     result.manifest.cacheHits = normal_cache_hits + oracle_cache_hits;
+    result.manifest.cacheMisses = normal_cache_misses + oracle_cache_misses;
+
+    // Per-pass breakdown of compileSec: the two compiles' gap-free lap
+    // tables, summed by pass name in first-appearance order. A cache
+    // hit contributes nothing (its passTimes are empty — no passes
+    // ran), so the table keeps summing to compileSec within timer
+    // noise either way.
+    auto merge_passes = [&result](const std::vector<PassTime> &laps) {
+        for (const PassTime &lap : laps) {
+            auto it = std::find_if(result.manifest.passes.begin(),
+                                   result.manifest.passes.end(),
+                                   [&lap](const PassTime &entry) {
+                                       return entry.name == lap.name;
+                                   });
+            if (it == result.manifest.passes.end())
+                result.manifest.passes.push_back(lap);
+            else
+                it->sec += lap.sec;
+        }
+    };
+    merge_passes(result.compiled.passTimes);
+    merge_passes(result.oracleCompiled.passTimes);
     result.manifest.prunedCandidates =
         result.compiled.stats.prunedSites +
         result.compiled.stats.prunedProductions +
@@ -307,6 +340,7 @@ PolicyOutcome
 ExperimentRunner::runPolicy(const BenchmarkResult &prepared,
                             Policy policy) const
 {
+    ScopedSpan span("simulate", prepared.name, policyName(policy));
     WallClock::time_point start = WallClock::now();
     EnergyModel energy = energyModel();
     const Program &binary = needsOracleSet(policy)
@@ -350,6 +384,7 @@ ExperimentRunner::runPolicy(const BenchmarkResult &prepared,
         gainPercent(prepared.classic.timeSeconds(energy),
                     outcome.stats.timeSeconds(energy));
     outcome.wallSec = secondsSince(start);
+    span.counter("instrs", outcome.stats.dynInstrs);
     return outcome;
 }
 
@@ -374,6 +409,7 @@ ExperimentRunner::stampManifest(RunManifest &manifest,
         manifest.pool.jobsExecuted = u.jobsExecuted;
         manifest.pool.queueWaitSec = u.queueWaitSec;
         manifest.pool.workerBusySec = u.workerBusySec;
+        manifest.pool.queueWaitBuckets = u.queueWaitBuckets;
     }
 }
 
@@ -381,6 +417,7 @@ BenchmarkResult
 ExperimentRunner::run(const Workload &workload,
                       const std::vector<Policy> &policies) const
 {
+    ScopedSpan run_span("run", workload.name);
     WallClock::time_point start = WallClock::now();
     unsigned jobs = effectiveJobs();
     std::optional<ThreadPool> pool;
@@ -406,6 +443,9 @@ std::vector<BenchmarkResult>
 ExperimentRunner::runMany(const std::vector<Workload> &workloads,
                           const std::vector<Policy> &policies) const
 {
+    ScopedSpan many_span("runMany");
+    many_span.counter("workloads", workloads.size());
+    many_span.counter("policies", policies.size());
     WallClock::time_point start = WallClock::now();
     unsigned jobs = effectiveJobs();
     if (jobs <= 1) {

@@ -211,6 +211,15 @@ fillMetrics(MetricsRegistry &metrics,
         metrics.counterAdd("amnesiac_cache_hits_total{workload=\"" + w +
                                "\"}",
                            static_cast<double>(m.cacheHits));
+        metrics.counterAdd("amnesiac_cache_misses_total{workload=\"" + w +
+                               "\"}",
+                           static_cast<double>(m.cacheMisses));
+        // The per-pass split of compileSec (satellite of analysisSec:
+        // prune and gate are its pass-level refinement).
+        for (const PassTime &pass : m.passes)
+            metrics.gaugeSet("amnesiac_compiler_pass_seconds{workload=\"" +
+                                 w + "\",pass=\"" + pass.name + "\"}",
+                             pass.sec);
         metrics.gaugeSet("amnesiac_jobs_effective{workload=\"" + w + "\"}",
                          m.jobsEffective);
         metrics.gaugeSet("amnesiac_pool_jobs_executed",
@@ -219,6 +228,44 @@ fillMetrics(MetricsRegistry &metrics,
                          m.pool.queueWaitSec);
         metrics.gaugeSet("amnesiac_pool_worker_busy_seconds",
                          m.pool.workerBusySec);
+    }
+
+    // Queue-wait distribution: the pool's bucketed counts, replayed as
+    // weighted observations at bucket midpoints. In runMany every
+    // manifest carries the same pool-lifetime totals (the pool is
+    // shared), so only the first result's buckets are replayed — for
+    // per-run pools this is the run that produced results.front().
+    if (!results.empty()) {
+        const PoolStats &pool = results.front().manifest.pool;
+        for (std::size_t i = 0; i < pool.queueWaitBuckets.size(); ++i) {
+            if (pool.queueWaitBuckets[i] == 0)
+                continue;
+            metrics.histogramObserve(
+                "amnesiac_threadpool_queue_wait_seconds",
+                (static_cast<double>(i) + 0.5) * kQueueWaitBucketSec,
+                kQueueWaitBucketSec, kQueueWaitBucketCount,
+                static_cast<double>(pool.queueWaitBuckets[i]));
+        }
+    }
+}
+
+void
+fillHostSpanMetrics(MetricsRegistry &metrics,
+                    const std::vector<SpanProfiler::ThreadSpans> &threads)
+{
+    for (const auto &thread : threads) {
+        for (const SpanRecord &record : thread.spans) {
+            std::string_view name(record.name);
+            const std::size_t space = name.find(' ');
+            if (space != std::string_view::npos)
+                name = name.substr(0, space);
+            std::string series = "amnesiac_host_span_seconds{span=\"";
+            series += name;
+            series += "\"}";
+            // 10 ms buckets: pipeline steps range from sub-ms (cache
+            // probes) to seconds (profiling); the tail clamps.
+            metrics.histogramObserve(series, record.seconds(), 0.01, 50);
+        }
     }
 }
 

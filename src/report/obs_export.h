@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "report/experiment.h"
 
 namespace amnesiac {
@@ -59,6 +60,16 @@ std::string renderRunTraceJsonl(
  */
 void fillMetrics(MetricsRegistry &metrics,
                  const std::vector<BenchmarkResult> &results);
+
+/**
+ * Record collected host spans as `amnesiac_host_span_seconds{span=...}`
+ * histograms, one labeled series per span base name (the flame-table
+ * aggregation key), one observation per span instance. Wall-clock, so
+ * explicitly diagnostic like the phase gauges.
+ */
+void fillHostSpanMetrics(
+    MetricsRegistry &metrics,
+    const std::vector<SpanProfiler::ThreadSpans> &threads);
 
 }  // namespace amnesiac
 

@@ -1,5 +1,9 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
+
+#include "obs/span.h"
+
 namespace amnesiac {
 
 unsigned
@@ -57,9 +61,12 @@ ThreadPool::waitIdle()
 void
 ThreadPool::workerLoop()
 {
+    if (SpanProfiler::enabled())
+        SpanProfiler::instance().setThreadName("pool-worker");
     for (;;) {
         std::function<void()> task;
         Clock::time_point start;
+        Clock::time_point submitted;
         {
             std::unique_lock<std::mutex> lock(_mutex);
             _wakeWorker.wait(lock,
@@ -68,12 +75,26 @@ ThreadPool::workerLoop()
                 return;  // _stop and fully drained
             start = Clock::now();
             task = std::move(_queue.front().first);
-            _utilization.queueWaitSec +=
-                std::chrono::duration<double>(start - _queue.front().second)
-                    .count();
+            submitted = _queue.front().second;
+            const double wait_sec =
+                std::chrono::duration<double>(start - submitted).count();
+            _utilization.queueWaitSec += wait_sec;
+            const auto bucket = std::min(
+                kQueueWaitBucketCount - 1,
+                static_cast<std::size_t>(
+                    std::max(0.0, wait_sec) / kQueueWaitBucketSec));
+            ++_utilization.queueWaitBuckets[bucket];
             _queue.pop_front();
         }
-        task();
+        if (SpanProfiler::enabled()) {
+            SpanProfiler &profiler = SpanProfiler::instance();
+            profiler.recordInterval("pool:queue-wait", profiler.toNs(submitted),
+                                    profiler.toNs(start));
+        }
+        {
+            ScopedSpan span("pool:task");
+            task();
+        }
         {
             std::lock_guard<std::mutex> lock(_mutex);
             _utilization.workerBusySec +=

@@ -13,6 +13,7 @@
 #ifndef AMNESIAC_UTIL_THREAD_POOL_H
 #define AMNESIAC_UTIL_THREAD_POOL_H
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -25,6 +26,13 @@
 #include <vector>
 
 namespace amnesiac {
+
+/** Fixed-width bucketing of the queue-wait distribution (Utilization
+ * and PoolStats share it; obs/report renders it as the
+ * `amnesiac_threadpool_queue_wait_seconds` histogram). Waits past the
+ * last edge clamp into the final bucket. */
+inline constexpr std::size_t kQueueWaitBucketCount = 32;
+inline constexpr double kQueueWaitBucketSec = 0.0005;  ///< 0.5 ms/bucket
 
 /**
  * Fixed-size worker pool. Tasks are plain callables; they must not
@@ -63,6 +71,9 @@ class ThreadPool
         std::uint64_t jobsExecuted = 0;
         double queueWaitSec = 0.0;   ///< summed submit → start latency
         double workerBusySec = 0.0;  ///< summed task execution time
+        /** Queue-wait distribution: task counts per fixed-width bucket
+         * (kQueueWaitBucketSec wide, last bucket clamps the tail). */
+        std::array<std::uint64_t, kQueueWaitBucketCount> queueWaitBuckets{};
     };
 
     /** Snapshot the utilization counters (thread-safe; call at idle

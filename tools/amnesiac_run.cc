@@ -28,6 +28,11 @@
  *   --site-report <path>   write the ranked per-RCMP-site report
  *   --metrics <path>       write Prometheus metrics for the run
  *   --max-records <n>      per-policy trace buffer cap
+ *   --prof                 host-side span profiling (flame table to
+ *                          stderr at exit unless redirected)
+ *   --prof-out <path>      host spans as Chrome trace JSON (implies
+ *                          --prof; also merged into --trace output)
+ *   --prof-report <path>   flame table destination (implies --prof)
  *   --csv                  machine-readable output
  *   --save <path>          write the compiled amnesic binary and exit
  *   --disasm               dump the rewritten binary and exit
@@ -74,7 +79,8 @@ usage(const char *argv0)
                  "[--predictor <nottaken|bimodal|gshare>] [--hist <n>] "
                  "[--sfile <n>] [--per-site-model] [--trace <path>] "
                  "[--site-report <path>] [--metrics <path>] "
-                 "[--max-records <n>] [--csv] "
+                 "[--max-records <n>] [--prof] [--prof-out <path>] "
+                 "[--prof-report <path>] [--csv] "
                  "[--disasm] [--save <path>] <workload>\n",
                  argv0);
     std::exit(2);
@@ -162,6 +168,12 @@ main(int argc, char **argv)
         } else if (arg == "--max-records") {
             config.traceMaxRecords =
                 std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--prof") {
+            args.prof = true;
+        } else if (arg == "--prof-out") {
+            args.profOutPath = next();
+        } else if (arg == "--prof-report") {
+            args.profReportPath = next();
         } else if (arg == "--save") {
             save_path = next();
         } else if (arg == "--csv") {
@@ -183,6 +195,9 @@ main(int argc, char **argv)
     }
     config.traceEvents = !args.tracePath.empty();
     config.seed = args.seed;
+    args.prof = args.prof || !args.profOutPath.empty() ||
+                !args.profReportPath.empty();
+    bench::enableHostProfiling(args);
 
     Workload workload = makeWorkload(workload_name, args.seed);
     ExperimentRunner runner(config);

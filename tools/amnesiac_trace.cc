@@ -21,6 +21,12 @@
  *   --manifest <path>      write the run manifest JSON ('-' = stdout)
  *   --memory               also trace every load/store (large!)
  *   --max-records <n>      per-policy trace buffer cap
+ *   --prof                 host-side span profiling; --chrome output
+ *                          gains pid-2 wall-clock tracks for the host
+ *                          threads next to the simulated-cycle tracks
+ *   --prof-out <path>      host spans as standalone Chrome trace JSON
+ *                          (implies --prof)
+ *   --prof-report <path>   aggregated flame table (implies --prof)
  *
  * With no output flags the site report prints to stdout. Every value
  * flag accepts both `--flag value` and `--flag=value`. The event
@@ -62,6 +68,7 @@ usage(const char *argv0)
                  "[--jsonl <path>] [--chrome <path>] "
                  "[--site-report <path>] [--metrics <path>] "
                  "[--manifest <path>] [--memory] [--max-records <n>] "
+                 "[--prof] [--prof-out <path>] [--prof-report <path>] "
                  "<workload>\n",
                  argv0);
     std::exit(2);
@@ -89,6 +96,7 @@ main(int argc, char **argv)
     ExperimentConfig config;
     std::string jsonl_path, chrome_path, site_path, metrics_path,
         manifest_path;
+    bench::BenchArgs prof_args;  // only the --prof triple is used
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -138,6 +146,12 @@ main(int argc, char **argv)
         } else if (arg == "--max-records") {
             config.traceMaxRecords =
                 std::strtoull(next().c_str(), nullptr, 10);
+        } else if (arg == "--prof") {
+            prof_args.prof = true;
+        } else if (arg == "--prof-out") {
+            prof_args.profOutPath = next();
+        } else if (arg == "--prof-report") {
+            prof_args.profReportPath = next();
         } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
             usage(argv[0]);
         } else {
@@ -169,20 +183,32 @@ main(int argc, char **argv)
 
     config.traceEvents = !jsonl_path.empty() || !chrome_path.empty();
     config.seed = seed;
+    prof_args.prof = prof_args.prof || !prof_args.profOutPath.empty() ||
+                     !prof_args.profReportPath.empty();
+    bench::enableHostProfiling(prof_args);
     Workload workload = makeWorkload(workload_name, seed);
     ExperimentRunner runner(config);
     std::vector<BenchmarkResult> results = {runner.run(workload, policies)};
 
+    // The pool is idle after run(), so collecting here honors the
+    // profiler's quiescence contract; the exit-time --prof-out artifact
+    // additionally covers the export work below.
+    const std::vector<SpanProfiler::ThreadSpans> host =
+        SpanProfiler::enabled() ? SpanProfiler::instance().collect()
+                                : std::vector<SpanProfiler::ThreadSpans>{};
     if (!site_path.empty())
         emit(site_path, renderAllSiteReports(results));
     if (!jsonl_path.empty())
         emit(jsonl_path, renderRunTraceJsonl(results));
     if (!chrome_path.empty())
         emit(chrome_path,
-             renderChromeTrace(traceTracks(results), phaseSpans(results)));
+             renderChromeTrace(traceTracks(results), phaseSpans(results),
+                               host));
     if (!metrics_path.empty()) {
         MetricsRegistry metrics;
         fillMetrics(metrics, results);
+        if (!host.empty())
+            fillHostSpanMetrics(metrics, host);
         emit(metrics_path, metrics.renderPrometheus());
     }
     if (!manifest_path.empty())
